@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables or
+figures (see DESIGN.md §4) and asserts its qualitative shape — who
+wins, by roughly what factor, where the crossovers fall.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Tables print into the captured output; add ``-s`` to see them live.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Most experiments are deterministic table generators; repeating them
+    hundreds of times adds nothing, so benches use a single round unless
+    they are measuring engine throughput.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

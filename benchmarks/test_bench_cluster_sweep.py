@@ -1,0 +1,30 @@
+"""E5 — optimal hybrid cluster size C = Θ(L)."""
+
+from repro.experiments import cluster_sweep
+
+
+def test_bench_optimal_cluster_is_theta_L(once):
+    outcome = once(cluster_sweep.run)
+    print()
+    print(cluster_sweep.report())
+    assert outcome.optimum_tracks_L(slack=4.0)
+    # the optimum grows monotonically with L
+    Ls = sorted(outcome.best)
+    optima = [outcome.best[L] for L in Ls]
+    assert optima == sorted(optima)
+
+
+def test_bench_sweep_has_interior_minimum(once):
+    """U(C) is U-shaped: both tiny and huge clusters lose."""
+    outcome = once(cluster_sweep.run)
+    for L, sides in outcome.sweeps.items():
+        best = outcome.best[L]
+        assert sides[best] < sides[1]          # better than no clustering
+        assert sides[best] < sides[max(sides)]  # better than one giant cluster
+
+
+def test_bench_closed_form_agrees_with_model(once):
+    outcome = once(cluster_sweep.run)
+    for L in outcome.best:
+        model, closed = outcome.best[L], outcome.closed_form_best[L]
+        assert max(model, closed) / min(model, closed) <= 2.0

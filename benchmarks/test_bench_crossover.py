@@ -1,0 +1,31 @@
+"""E4 — the Section 7 dominance crossovers."""
+
+from repro.experiments import crossover
+
+
+def test_bench_crossover_at_L_squared(once):
+    outcome = once(crossover.run)
+    print()
+    print(crossover.report())
+    # every crossover exists and sits at a fixed multiple of L^2
+    assert all(n_star is not None for n_star in outcome.crossovers.values())
+    assert outcome.crossover_tracks_L_squared()
+
+
+def test_bench_us2_wins_small_us1_wins_large(once):
+    outcome = once(crossover.run)
+    for L, sweep in outcome.ratio_sweep.items():
+        small_n_ratio = sweep[0][1]
+        large_n_ratio = sweep[-1][1]
+        # ratio = US1 wire / US2 wire: big for small n (US2 wins),
+        # below 1 for large n (US1 wins)
+        assert small_n_ratio > large_n_ratio
+        if L <= 32:
+            assert large_n_ratio < 1.0
+
+
+def test_bench_hybrid_beats_us1_by_sqrt_L(once):
+    outcome = once(crossover.run)
+    assert outcome.hybrid_factor_grows_like_sqrt_L()
+    # and the hybrid always wins at large n
+    assert all(factor > 1.0 for factor in outcome.hybrid_factors.values())

@@ -1,0 +1,44 @@
+"""E13 — the who-wins-where map over the (n, L) design space."""
+
+from repro.experiments import dominance_map
+
+
+def test_bench_incomparability_map(once):
+    outcome = once(dominance_map.run)
+    print()
+    print(dominance_map.report())
+    # "The Ultrascalar I and Ultrascalar II are incomparable, each
+    # beating the other in certain cases."
+    assert outcome.us1_wins_somewhere()
+    assert outcome.us2_wins_somewhere()
+
+
+def test_bench_single_crossover_per_row(once):
+    """Each register-file size has one crossover (n = Θ(L²)), not a
+    patchwork: the winner flips exactly once as n grows."""
+    outcome = once(dominance_map.run)
+    assert outcome.pairwise_boundary_is_monotone()
+
+
+def test_bench_hybrid_dominates_at_scale(once):
+    """"For n >= L the hybrid dominates both" — asymptotically: every
+    grid cell with n >= 16 L goes to the hybrid."""
+    outcome = once(dominance_map.run)
+    assert outcome.hybrid_wins_at_scale(factor=16)
+
+
+def test_bench_crossover_diagonal_tracks_L_squared(once):
+    """The US1/US2 boundary moves diagonally: quadrupling L pushes the
+    crossover 16x in n."""
+    outcome = once(dominance_map.run)
+
+    def first_us1_n(L):
+        for n in outcome.n_values:
+            if outcome.winner_pairwise[(n, L)] == "US1":
+                return n
+        return None
+
+    n_at_8 = first_us1_n(8)
+    n_at_32 = first_us1_n(32)
+    assert n_at_8 is not None and n_at_32 is not None
+    assert n_at_32 == 16 * n_at_8

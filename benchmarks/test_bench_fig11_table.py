@@ -1,0 +1,54 @@
+"""E2 — regenerate the paper's Figure 11 comparison table and validate
+its growth laws against the measured layout model."""
+
+from repro.analysis.asymptotics import evaluate_cell, figure11_table
+from repro.analysis.regimes import Regime
+from repro.experiments import fig11_table
+
+
+def test_bench_figure11_render_and_validate(once):
+    validation = once(fig11_table.validate)
+    print()
+    print(fig11_table.report())
+    # measured exponents match the paper's Case-1 growth laws
+    assert abs(validation.us1_exponent - 0.5) < 0.06
+    assert abs(validation.us2_exponent - 1.0) < 0.06
+    assert abs(validation.hybrid_exponent - 0.5) < 0.08
+
+
+def test_bench_figure11_dominance_relations(once):
+    """The hybrid column dominates in every regime and every quantity."""
+
+    def check():
+        results = []
+        for regime in Regime:
+            for quantity in ("wire_delay", "total_delay", "area"):
+                n, L = 1 << 16, 32
+                m = {Regime.CASE1: 1.0, Regime.CASE2: n**0.5, Regime.CASE3: n**0.75}[regime]
+                hybrid = evaluate_cell(regime, "hybrid", quantity, n, L, m)
+                us1 = evaluate_cell(regime, "ultrascalar1", quantity, n, L, m)
+                us2 = evaluate_cell(regime, "ultrascalar2-linear", quantity, n, L, m)
+                results.append((regime, quantity, hybrid, us1, us2))
+        return results
+
+    results = once(check)
+    for regime, quantity, hybrid, us1, us2 in results:
+        assert hybrid <= us1 * 1.001, (regime, quantity)
+        assert hybrid <= us2 * 1.001, (regime, quantity)
+
+
+def test_bench_incomparability_of_us1_us2(once):
+    """US-I and US-II each win somewhere: small n favours US-II wire
+    delay, large n favours US-I (the paper's 'incomparable')."""
+
+    def check():
+        small_n, large_n, L = 64, 1 << 16, 64
+        us1_small = evaluate_cell(Regime.CASE1, "ultrascalar1", "wire_delay", small_n, L, 1)
+        us2_small = evaluate_cell(Regime.CASE1, "ultrascalar2-linear", "wire_delay", small_n, L, 1)
+        us1_large = evaluate_cell(Regime.CASE1, "ultrascalar1", "wire_delay", large_n, L, 1)
+        us2_large = evaluate_cell(Regime.CASE1, "ultrascalar2-linear", "wire_delay", large_n, L, 1)
+        return us1_small, us2_small, us1_large, us2_large
+
+    us1_small, us2_small, us1_large, us2_large = once(check)
+    assert us2_small < us1_small   # small n: US-II wins
+    assert us1_large < us2_large   # large n: US-I wins

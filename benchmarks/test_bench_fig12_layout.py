@@ -1,0 +1,33 @@
+"""E3 — regenerate the paper's Figure 12 empirical density comparison."""
+
+from repro.experiments import fig12_layout
+from repro.vlsi.htree_layout import Ultrascalar1Layout
+from repro.vlsi.hybrid_layout import HybridLayout
+
+
+def test_bench_figure12_density(once):
+    outcome = once(fig12_layout.run)
+    print()
+    print(fig12_layout.report())
+    # shape: the hybrid is an order of magnitude denser, ~11.5x
+    assert outcome.density_ratio > 8.0
+    assert outcome.ratio_matches_paper
+    # absolute calibration sanity: US-I 64-wide lands near 7cm x 7cm
+    assert 5.0 < outcome.us1["side_cm"] < 9.0
+    assert 10_000 < outcome.us1["stations_per_m2"] < 17_000
+    assert 100_000 < outcome.hybrid["stations_per_m2"] < 210_000
+
+
+def test_bench_figure12_win_holds_across_scales(once):
+    """The hybrid's density advantage persists (and grows mildly) with n."""
+
+    def sweep():
+        ratios = []
+        for n in (64, 256, 1024):
+            us1 = Ultrascalar1Layout(n, 32, 32)
+            hybrid = HybridLayout(n * 2, 32, 32, 32)
+            ratios.append(hybrid.stations_per_m2 / us1.stations_per_m2)
+        return ratios
+
+    ratios = once(sweep)
+    assert all(r > 8.0 for r in ratios)

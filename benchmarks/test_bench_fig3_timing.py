@@ -1,0 +1,14 @@
+"""E1 — regenerate the paper's Figure 3 timing diagram."""
+
+from repro.experiments import fig3_timing
+
+
+def test_bench_figure3(once):
+    outcome = once(fig3_timing.run)
+    print()
+    print(fig3_timing.report())
+    # shape: the Ultrascalar I reproduces the published diagram exactly
+    assert outcome.matches_paper
+    assert outcome.matches_dataflow
+    assert outcome.cycles == 12
+    assert outcome.ultrascalar_spans == fig3_timing.PAPER_FIGURE3_SPANS

@@ -1,0 +1,34 @@
+"""E9 — measured gate-delay growth of the constructed netlists."""
+
+from repro.experiments import gate_depth
+
+
+def test_bench_settle_time_growth(once):
+    outcome = once(gate_depth.run)
+    print()
+    print(gate_depth.report())
+    # linear families
+    assert 0.85 <= outcome.ring_exponent <= 1.1
+    assert 0.85 <= outcome.grid_exponent <= 1.1
+    # logarithmic families (power-law exponent far below sqrt)
+    assert outcome.cspp_exponent < 0.6
+    assert outcome.tree_grid_exponent < 0.5
+
+
+def test_bench_cspp_beats_ring_everywhere(once):
+    outcome = once(gate_depth.run)
+    for ring, cspp in zip(outcome.ring_times, outcome.cspp_times):
+        if ring > 4:
+            assert cspp < ring
+
+
+def test_bench_tree_grid_beats_linear_grid_at_scale(once):
+    outcome = once(gate_depth.run)
+    assert outcome.tree_grid_times[-1] < outcome.grid_times[-1]
+
+
+def test_bench_cspp_settle_additive_per_doubling(once):
+    """Θ(log n): each doubling of n adds a constant number of gate delays."""
+    outcome = once(gate_depth.run)
+    diffs = [b - a for a, b in zip(outcome.cspp_times, outcome.cspp_times[1:])]
+    assert max(diffs) <= 3

@@ -1,0 +1,29 @@
+"""E10 — ILP equivalence with the ideal superscalar; US-II's idle tax;
+the conventional quadratic wall."""
+
+from repro.experiments import ipc_equivalence
+
+
+def test_bench_ipc_table(once):
+    outcome = once(ipc_equivalence.run)
+    print()
+    print(ipc_equivalence.report())
+    assert outcome.us1_always_matches()
+    assert outcome.us2_never_faster()
+
+
+def test_bench_conventional_delay_quadratic_vs_log(once):
+    outcome = once(ipc_equivalence.run)
+    conventional = outcome.conventional_delays
+    ultrascalar = outcome.ultrascalar_gate_delays
+    widths = sorted(conventional)
+    # conventional delay grows super-linearly; ultrascalar adds a
+    # constant per doubling
+    conv_growth = conventional[widths[-1]] / conventional[widths[-3]]
+    assert conv_growth > (widths[-1] / widths[-3]) * 1.5
+    us_diffs = [
+        ultrascalar[b] - ultrascalar[a] for a, b in zip(widths, widths[1:])
+    ]
+    assert max(us_diffs) <= 1.01
+    # and the ultrascalar wins decisively at high issue width
+    assert ultrascalar[widths[-1]] < conventional[widths[-1]] / 10

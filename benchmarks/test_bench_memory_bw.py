@@ -1,0 +1,42 @@
+"""E6 — X(n) and W(n) growth across the three M(n) regimes."""
+
+from repro.experiments import memory_bw
+from repro.analysis.regimes import regularity_holds
+from repro.network.fattree import bandwidth_power
+
+
+def test_bench_side_length_exponents(once):
+    outcome = once(memory_bw.run)
+    print()
+    print(memory_bw.report())
+    assert outcome.exponents_match_paper(tolerance=0.1)
+
+
+def test_bench_wire_length_is_theta_of_side(once):
+    """W(n) = Θ(X(n)) in every regime (the paper's Section 3 solution)."""
+    outcome = once(memory_bw.run)
+    assert outcome.wire_tracks_side()
+
+
+def test_bench_bandwidth_dominates_beyond_sqrt(once):
+    """'Memory bandwidth is the dominating factor': in Case 3 the side
+    grows strictly faster than Case 1's sqrt(n)."""
+    outcome = once(memory_bw.run)
+    assert outcome.fitted[1.0] > outcome.fitted[0.0] + 0.3
+    assert outcome.fitted[0.75] > outcome.fitted[0.0] + 0.1
+
+
+def test_bench_regularity_condition(once):
+    """The Case 3 analysis requires M(n/4) <= c M(n)/2 — power laws with
+    exponent > 1/2 satisfy it, slower ones need not."""
+
+    def check():
+        return (
+            regularity_holds(bandwidth_power(0.75)),
+            regularity_holds(bandwidth_power(1.0)),
+            regularity_holds(bandwidth_power(0.25)),
+        )
+
+    ok_75, ok_100, ok_25 = once(check)
+    assert ok_75 and ok_100
+    assert not ok_25

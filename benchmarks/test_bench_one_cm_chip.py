@@ -1,0 +1,30 @@
+"""E16 — the paper's closing claim: 128-window, 16-ALU hybrid in 1 cm²."""
+
+from repro.experiments import one_cm_chip
+
+
+def test_bench_one_cm_chip(once):
+    outcome = once(one_cm_chip.run)
+    print()
+    print(one_cm_chip.report())
+    assert outcome.fits_one_cm
+    assert outcome.area_cm2 < 1.0
+    # and the configuration actually computes, at a healthy IPC
+    assert outcome.ipc > 4.0
+
+
+def test_bench_shrink_is_consistent(once):
+    """The 0.1 um projection is exactly a linear shrink of the calibrated
+    0.35 um model — same tracks, smaller track."""
+
+    def check():
+        from repro.vlsi.hybrid_layout import HybridLayout
+        from repro.vlsi.tech import PAPER_TECH
+
+        big = HybridLayout(128, 32, 32, tech=PAPER_TECH)
+        small = HybridLayout(128, 32, 32, tech=one_cm_chip.TECH_01UM)
+        return big.side_length(), small.side_length(), one_cm_chip.SHRINK
+
+    big_tracks, small_tracks, shrink = once(check)
+    assert big_tracks == small_tracks  # geometry in tracks is identical
+    assert shrink < 1.0

@@ -1,0 +1,42 @@
+"""E14/E15 — end-to-end performance projection and the large-window
+ILP study the paper calls for."""
+
+from repro.experiments import ilp_limits, performance_projection
+
+
+def test_bench_performance_projection(once):
+    outcome = once(performance_projection.run)
+    print()
+    print(performance_projection.report())
+    # the quadratic conventional machine wins small, then collapses —
+    # exactly why it was built in 1999 and why it cannot scale
+    assert outcome.conventional_collapses()
+    # at the largest window, the hybrid posts the best projection
+    assert outcome.hybrid_wins_at_scale()
+
+
+def test_bench_hybrid_beats_us1_in_projection_everywhere(once):
+    outcome = once(performance_projection.run)
+    for row in outcome.rows:
+        assert row.hybrid.instructions_per_time >= row.us1.instructions_per_time
+
+
+def test_bench_clock_periods_ordering(once):
+    """Clock periods: hybrid <= US-I at scale; all grow with n."""
+    outcome = once(performance_projection.run)
+    us1_periods = [row.us1.clock.period for row in outcome.rows]
+    hybrid_periods = [row.hybrid.clock.period for row in outcome.rows]
+    assert us1_periods == sorted(us1_periods)
+    assert hybrid_periods == sorted(hybrid_periods)
+    assert hybrid_periods[-1] < us1_periods[-1]
+
+
+def test_bench_ilp_limits(once):
+    outcome = once(ilp_limits.run)
+    print()
+    print(ilp_limits.report())
+    assert all(curve.monotone() for curve in outcome.curves)
+    assert outcome.looser_code_has_more_ilp()
+    # the thousand-wide-window claim (Patt et al., as the paper cites):
+    # 128 -> 2048 still multiplies IPC by >= 1.5x at every density
+    assert outcome.thousand_wide_window_pays(factor=1.5)

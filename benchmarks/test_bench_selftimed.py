@@ -1,0 +1,24 @@
+"""E8 — the self-timed locality argument (Section 7)."""
+
+from repro.experiments import selftimed
+
+
+def test_bench_successor_locality(once):
+    outcome = once(selftimed.run)
+    print()
+    print(selftimed.report())
+    # the paper's claim — at least half the successor paths are local —
+    # holds at every size (our census finds 3/4)
+    assert outcome.at_least_half_local()
+    assert all(abs(f - 0.75) < 0.01 for f in outcome.local_fraction.values())
+
+
+def test_bench_mean_wire_stays_bounded(once):
+    """Mean successor wire length converges to a constant even as the
+    max (the wrap-around hop) grows with sqrt(n) — exactly why a
+    self-timed design favours near-neighbour dependence."""
+    outcome = once(selftimed.run)
+    means = list(outcome.mean_wire.values())
+    maxes = list(outcome.max_wire.values())
+    assert means[-1] < 4.5          # bounded mean
+    assert maxes[-1] > maxes[0] * 3  # growing worst case

@@ -1,0 +1,35 @@
+"""E7 — the three-dimensional packaging bounds (Section 7)."""
+
+from repro.analysis.three_d import lookup
+from repro.experiments import three_d
+
+
+def test_bench_three_d_table(once):
+    outcome = once(three_d.run)
+    print()
+    print(three_d.report())
+    assert outcome.improvement_grows_with_L()
+
+
+def test_bench_3d_cluster_smaller_than_2d(once):
+    """Optimal C drops from Θ(L) to Θ(L^(3/4)) in three dimensions."""
+    outcome = once(three_d.run)
+    for L, c3d in outcome.optimal_cluster_3d.items():
+        if L > 1:
+            assert c3d < L
+
+
+def test_bench_3d_volume_beats_2d_area_squared_intuition(once):
+    """US-I: 3-D volume Θ(n L^(3/2)) vs 2-D area Θ(n L²) — 3-D wins by
+    Θ(sqrt(L)); US-II drops its 2-D log factor entirely."""
+
+    def check(n=4096, L=64):
+        vol = lookup("ultrascalar1", "volume").evaluate(n, L, 0)
+        area_2d = n * L**2
+        wire_3d = lookup("ultrascalar1", "wire_delay").evaluate(n, L, 0)
+        wire_2d = n**0.5 * L
+        return area_2d / vol, wire_2d / wire_3d
+
+    footprint_gain, wire_gain = once(check)
+    assert footprint_gain > 1.0
+    assert wire_gain > 1.0

@@ -1,0 +1,48 @@
+"""E12 — window size vs issue width, decoupled by the Memo-2 scheduler.
+
+The study the paper flags as worth running ("the impact of changing the
+window size independently from the issue width"), made possible by the
+shared-ALU scheduling circuitry it references.
+"""
+
+from repro.experiments import window_vs_issue
+from repro.vlsi.grid_layout import Ultrascalar2Layout
+
+
+def test_bench_window_issue_grid(once):
+    outcome = once(window_vs_issue.run)
+    print()
+    print(window_vs_issue.report())
+    assert outcome.monotone_in_window()
+    assert outcome.monotone_in_alus()
+
+
+def test_bench_window_finds_parallelism_alus_execute_it(once):
+    """A large window with few ALUs beats a small window with many:
+    the window discovers ILP; ALUs merely retire it."""
+    outcome = once(window_vs_issue.run)
+    big_window_few_alus = outcome.ipc_at(64, 4)
+    small_window_many_alus = outcome.ipc_at(4, 16)
+    assert big_window_few_alus > small_window_many_alus * 1.3
+
+
+def test_bench_saturation_along_both_axes(once):
+    outcome = once(window_vs_issue.run)
+    # one ALU: IPC pinned at ~1 regardless of window
+    one_alu = [outcome.ipc_at(w, 1) for w in outcome.windows]
+    assert max(one_alu) - min(one_alu) < 0.1
+    # tiny window: extra ALUs past the window's ILP do nothing
+    assert outcome.ipc_at(4, 8) == outcome.ipc_at(4, 16)
+
+
+def test_bench_wraparound_area_tax(once):
+    """The paper's aside: wrap-around support for the Ultrascalar II
+    'appears to cost nearly a factor of two in area'."""
+
+    def check():
+        plain = Ultrascalar2Layout(256, 32).area
+        wrapped = Ultrascalar2Layout(256, 32, wraparound=True).area
+        return wrapped / plain
+
+    ratio = once(check)
+    assert 1.8 < ratio < 2.2

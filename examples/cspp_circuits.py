@@ -1,0 +1,76 @@
+"""Build and measure the paper's circuits at gate level.
+
+Usage::
+
+    python examples/cspp_circuits.py
+
+Constructs the mux ring (Figure 1), the CSPP tree (Figure 4), and both
+Ultrascalar II grids (Figures 7 and 8) as real netlists; checks they
+compute identical results; and measures their settle times with the
+event-driven simulator — the paper's gate-delay claims, observed.
+"""
+
+from repro.circuits import MuxRing, GridNetwork, TreeGridNetwork
+from repro.circuits.cspp import build_copy_cspp, cyclic_segmented_copy
+from repro.circuits.grid import RegisterBinding, route_arguments
+from repro.util.tables import Table
+
+
+def main() -> None:
+    # --- one register ring: station 2 wrote value 5, station 5 wrote 9 ---
+    n = 8
+    values = [0, 0, 5, 0, 0, 9, 0, 0]
+    modified = [False, False, True, False, False, True, False, False]
+    modified[0] = True  # the oldest station always inserts
+
+    reference = cyclic_segmented_copy(values, modified)
+    ring = MuxRing(n, width=4)
+    tree = build_copy_cspp(n, width=4)
+    assert ring.evaluate(values, modified) == reference
+    assert tree.evaluate(values, modified) == reference
+    print(f"ring/CSPP agree; incoming register values per station: {reference}")
+    print(f"mux ring: {ring.gate_count} gates; CSPP tree: {tree.gate_count} gates")
+    print()
+
+    # --- settle-time growth: the scalability story in one table ---
+    table = Table(
+        ["n", "mux ring (Θ(n))", "CSPP tree (Θ(log n))"],
+        title="Settle time in gate delays",
+    )
+    for size in (8, 16, 32, 64, 128):
+        stimulus = [1] * size
+        segments = [True] + [False] * (size - 1)
+        table.add_row(
+            [
+                size,
+                MuxRing(size, 1).settle_time(stimulus, segments),
+                build_copy_cspp(size, 1).settle_time(stimulus, segments),
+            ]
+        )
+    print(table.render())
+    print()
+
+    # --- an Ultrascalar II grid batch ---
+    L = 8
+    initial = [(r * 10, True) for r in range(L)]
+    writes = [
+        RegisterBinding(2, 0, False),   # station 0 writes r2, not ready yet
+        RegisterBinding(1, 44, True),   # station 1 writes r1 = 44
+        RegisterBinding(2, 99, True),   # station 2 writes r2 = 99
+        None,                           # station 3 writes nothing
+    ]
+    reads = [[0, 1], [2, 3], [1, 2], [2, 1]]
+    routed = route_arguments(L, initial, writes, reads)
+    grid = GridNetwork(4, L, value_bits=8)
+    tgrid = TreeGridNetwork(4, L, value_bits=8)
+    assert grid.evaluate(initial, writes, reads) == routed
+    assert tgrid.evaluate(initial, writes, reads) == routed
+    print("Ultrascalar II routing (station: argument values):")
+    for i, args in enumerate(routed.arguments):
+        print(f"  station {i} reads {reads[i]} -> {args}")
+    print(f"grid settle: linear={grid.settle_time(initial, writes, reads)} gate delays, "
+          f"mesh-of-trees={tgrid.settle_time(initial, writes, reads)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: assemble a program and run it on an Ultrascalar I.
+
+Usage::
+
+    python examples/quickstart.py
+
+Covers the core public API in ~40 lines: the assembler, the processor
+factory, and the result object (cycles, IPC, timing diagram, final
+state).
+"""
+
+from repro.isa import assemble
+from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
+
+SOURCE = """
+    # compute sum of squares 1^2 + 2^2 + ... + 10^2 into r3
+        li   r1, 10          # counter
+        li   r3, 0           # accumulator
+    loop:
+        mul  r2, r1, r1      # r2 = r1^2   (3-cycle multiply)
+        add  r3, r3, r2
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print("Program:")
+    print(program.disassemble())
+    print()
+
+    config = ProcessorConfig(window_size=16, fetch_width=4)
+    processor = make_ultrascalar1(program, config, memory=IdealMemory())
+    result = processor.run()
+
+    print(f"cycles:            {result.cycles}")
+    print(f"instructions:      {result.instructions_committed}")
+    print(f"IPC:               {result.ipc:.2f}")
+    print(f"mispredictions:    {result.mispredictions}")
+    print(f"sum of squares:    {result.registers[3]}  (expected {sum(i*i for i in range(1, 11))})")
+    print()
+    print("Timing diagram (first 20 committed instructions):")
+    trimmed = result.timings[:20]
+    result.timings = trimmed
+    print(result.timing_diagram())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP-660 editable installs fail with "invalid command 'bdist_wheel'".
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+(and plain ``python setup.py develop``) work offline.
+"""
+
+from setuptools import setup
+
+setup()

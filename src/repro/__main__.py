@@ -1,0 +1,74 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig3                 # one experiment's table(s)
+    python -m repro all                  # everything (a few minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    cluster_sweep,
+    crossover,
+    dominance_map,
+    fig3_timing,
+    fig11_table,
+    fig12_layout,
+    gate_depth,
+    ilp_limits,
+    ipc_equivalence,
+    performance_projection,
+    memory_bw,
+    one_cm_chip,
+    selftimed,
+    three_d,
+    window_vs_issue,
+)
+
+EXPERIMENTS = {
+    "fig3": ("E1  — Figure 3 timing diagram", fig3_timing.report),
+    "fig11": ("E2  — Figure 11 asymptotic comparison", fig11_table.report),
+    "fig12": ("E3  — Figure 12 layout density", fig12_layout.report),
+    "crossover": ("E4  — dominance crossovers", crossover.report),
+    "cluster": ("E5  — optimal cluster size", cluster_sweep.report),
+    "membw": ("E6  — X(n) by memory regime", memory_bw.report),
+    "3d": ("E7  — three-dimensional bounds", three_d.report),
+    "selftimed": ("E8  — self-timed locality", selftimed.report),
+    "gates": ("E9  — measured gate delays", gate_depth.report),
+    "ipc": ("E10 — ILP equivalence & quadratic wall", ipc_equivalence.report),
+    "window": ("E12 — window size vs issue width (Memo 2)", window_vs_issue.report),
+    "map": ("E13 — dominance map over (n, L)", dominance_map.report),
+    "perf": ("E14 — end-to-end performance projection", performance_projection.report),
+    "ilp": ("E15 — ILP limits at large windows", ilp_limits.report),
+    "1cm": ("E16 — the closing 1 cm chip claim", one_cm_chip.report),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch one experiment (or ``all``); returns a process exit code."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("Experiments:")
+        for key, (title, _) in EXPERIMENTS.items():
+            print(f"  {key:10s} {title}")
+        return 0
+    name = args[0]
+    if name == "all":
+        for key, (title, report) in EXPERIMENTS.items():
+            print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
+            print(report())
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try `python -m repro list`", file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[name][1]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Optimal hybrid cluster size (Section 6).
+
+"To find the value of C that minimizes U(n), one can differentiate and
+solve for dU/dC(n) = 0, to conclude that the side-length is minimized
+when C = Θ(L)."  This module provides both the analytic minimum of the
+closed form and the empirical sweep over the layout model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.recurrences import u_closed_form
+from repro.vlsi.hybrid_layout import optimal_cluster_size
+
+
+def analytic_optimal_cluster(L: int) -> float:
+    """Minimize U(C) = L sqrt(n)/sqrt(C) + sqrt(n C) over continuous C.
+
+    dU/dC = 0 gives C = L exactly (the n factors cancel), the paper's
+    C = Θ(L).
+    """
+    if L < 1:
+        raise ValueError("L must be positive")
+    return float(L)
+
+
+def closed_form_sweep(n: int, L: int, m_exponent: float = 0.0) -> dict[int, float]:
+    """U(C) from the closed form over power-of-two cluster sizes."""
+    sides: dict[int, float] = {}
+    c = 1
+    while c <= n:
+        sides[c] = u_closed_form(n, c, L, m_exponent)
+        c *= 2
+    return sides
+
+
+def empirical_optimal_cluster(n: int, L: int, word_bits: int = 32) -> int:
+    """Best power-of-two C from the full layout model (experiment E5)."""
+    best, _ = optimal_cluster_size(n, L, word_bits)
+    return best
+
+
+def cluster_is_theta_L(n: int, L: int, slack: float = 4.0) -> bool:
+    """Check the empirical optimum lies within a constant factor of L."""
+    best = empirical_optimal_cluster(n, L)
+    return L / slack <= best <= L * slack or math.isclose(best, L)

@@ -1,0 +1,73 @@
+"""Log-log growth-exponent fitting.
+
+Used throughout the experiments to turn measured series (settle times,
+side lengths, wire lengths) into growth exponents comparable with the
+paper's Θ-bounds: fit ``y = a x^k`` by least squares in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Result of fitting ``y = a * x**exponent``."""
+
+    exponent: float
+    scale: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at *x*."""
+        return self.scale * x**self.exponent
+
+
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> LogLogFit:
+    """Least-squares fit in log-log space.
+
+    Raises ``ValueError`` on fewer than two points or non-positive data.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit needs positive data")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    total = np.sum((log_y - log_y.mean()) ** 2)
+    residual = np.sum((log_y - predicted) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LogLogFit(exponent=float(slope), scale=float(math.exp(intercept)),
+                     r_squared=float(r_squared))
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Just the growth exponent of :func:`fit_loglog`."""
+    return fit_loglog(xs, ys).exponent
+
+
+def is_logarithmic(xs: Sequence[float], ys: Sequence[float], tolerance: float = 0.2) -> bool:
+    """Heuristic: does y grow like log x (rather than any power)?
+
+    True when y is (a) far slower than sqrt growth and (b) well fitted
+    by a linear model in log x.
+    """
+    if fit_exponent(xs, ys) > 0.35:
+        return False
+    log_x = np.log(np.asarray(xs, dtype=float))
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(log_x, y, 1)
+    predicted = slope * log_x + intercept
+    total = np.sum((y - y.mean()) ** 2)
+    if total == 0:
+        return True
+    r_squared = 1.0 - np.sum((y - predicted) ** 2) / total
+    return bool(r_squared > 1.0 - tolerance)

@@ -1,0 +1,27 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baseline.dataflow` -- an idealized out-of-order dataflow
+  machine over the golden dynamic trace.  The paper claims the
+  Ultrascalar timing "is exactly what would be produced in a traditional
+  superscalar processor that has enough functional units"; the dataflow
+  schedule is that machine, and the integration tests check the
+  Ultrascalar I reproduces it cycle for cycle.
+* :mod:`repro.baseline.complexity` -- the conventional-superscalar
+  critical-path delay models of Palacharla, Jouppi & Smith (ISCA '97),
+  whose quadratic growth in issue width and window size motivates the
+  paper ("all the published circuits are at least quadratic delay").
+"""
+
+from repro.baseline.complexity import (
+    ConventionalDelays,
+    conventional_superscalar_delay,
+)
+from repro.baseline.dataflow import DataflowSchedule, ScheduledInstruction, dataflow_schedule
+
+__all__ = [
+    "ConventionalDelays",
+    "conventional_superscalar_delay",
+    "DataflowSchedule",
+    "ScheduledInstruction",
+    "dataflow_schedule",
+]

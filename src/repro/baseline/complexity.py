@@ -1,0 +1,100 @@
+"""Conventional-superscalar critical-path models (Palacharla/Jouppi/Smith).
+
+The paper's motivation: "the delays through many of today's circuits
+grow quadratically with issue width ... and with window size ... all
+the published circuits are at least quadratic delay [12, 3, 4]."
+Reference [12] is Palacharla, Jouppi & Smith, *Complexity-Effective
+Superscalar Processors* (ISCA '97), which derives delay expressions for
+the rename, wakeup, select, and bypass stages of a conventional
+out-of-order core.  Each stage's delay has the form
+``c0 + c1 * IW + c2 * IW**2`` (with window size entering the wakeup
+quadratic), where IW is the issue width.
+
+We reproduce the *structure* of those expressions with normalized
+technology-independent coefficients (the published constants are
+process-specific).  The experiments only use the growth shapes: the
+quadratic conventional curve against the Ultrascalar's Θ(log n) gate
+delay and Θ(sqrt(n L)) wire delay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConventionalDelays:
+    """Per-stage delays (arbitrary units) of a conventional OoO core."""
+
+    rename: float
+    wakeup: float
+    select: float
+    bypass: float
+
+    @property
+    def critical(self) -> float:
+        """The pipeline's cycle time is set by the slowest stage."""
+        return max(self.rename, self.wakeup, self.select, self.bypass)
+
+
+def rename_delay(issue_width: int, num_registers: int) -> float:
+    """Rename stage: a RAM/CAM map table with IW ports.
+
+    Palacharla et al. model the delay as quadratic in issue width (wire
+    load on the map-table word lines and the dependence-check comparators
+    grow with IW), plus a log term from decoding L registers.
+    """
+    _check(issue_width, num_registers)
+    return 1.0 + 0.5 * math.log2(max(2, num_registers)) + 0.35 * issue_width + 0.03 * issue_width**2
+
+
+def wakeup_delay(issue_width: int, window_size: int) -> float:
+    """Wakeup: tag broadcast across the issue window's CAM.
+
+    Delay grows with window size (wire length down the window) times
+    issue width (number of result tags broadcast per cycle): the
+    published model's dominant term is ``IW * WS`` with an additional
+    quadratic wire component in each.
+    """
+    _check(issue_width, window_size)
+    return 0.5 + 0.02 * issue_width * window_size + 0.01 * window_size**2 / 16.0
+
+
+def select_delay(window_size: int) -> float:
+    """Select: arbitration tree over the window (logarithmic)."""
+    if window_size < 1:
+        raise ValueError("window size must be positive")
+    return 0.5 + 0.8 * math.log2(max(2, window_size))
+
+
+def bypass_delay(issue_width: int) -> float:
+    """Bypass: result buses spanning IW functional units — wire-dominated
+    and quadratic in issue width (bus length x fanout both grow)."""
+    if issue_width < 1:
+        raise ValueError("issue width must be positive")
+    return 0.25 + 0.05 * issue_width**2
+
+
+def conventional_superscalar_delay(
+    issue_width: int, window_size: int | None = None, num_registers: int = 32
+) -> ConventionalDelays:
+    """All four stage delays for a conventional core.
+
+    ``window_size`` defaults to ``8 x issue_width`` ("in most modern
+    processors the window size is an order of magnitude larger than the
+    issue width").
+    """
+    if window_size is None:
+        window_size = 8 * issue_width
+    return ConventionalDelays(
+        rename=rename_delay(issue_width, num_registers),
+        wakeup=wakeup_delay(issue_width, window_size),
+        select=select_delay(window_size),
+        bypass=bypass_delay(issue_width),
+    )
+
+
+def _check(a: int, b: int) -> None:
+    if a < 1 or b < 1:
+        raise ValueError("parameters must be positive")

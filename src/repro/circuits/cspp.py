@@ -1,0 +1,190 @@
+"""Cyclic segmented parallel prefix (CSPP) — Ultrascalar Memo 1.
+
+The CSPP circuit is the paper's workhorse.  One CSPP per logical
+register carries register values around the ring of execution stations
+(operator ``a (x) b = a``); three more 1-bit CSPPs (operator AND)
+sequence instructions: oldest-station tracking, load/store ordering,
+and branch commitment (Figure 5).
+
+The tree construction ties the data lines together at the top of an
+ordinary segmented-scan tree and discards the top segment bit, making
+the prefix wrap around: each station receives the reduction from the
+nearest *cyclically* preceding segment position.  The resulting netlist
+is cyclic; the event-driven simulator settles it, and settles in
+Θ(log n) gate delays because at least one segment bit always cuts the
+ring (the oldest station raises its segment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.circuits.netlist import GateKind, Net, Netlist, SimulationResult
+from repro.circuits.prefix import (
+    ScanOp,
+    AndOp,
+    CopyOp,
+    _mux_bus,
+    cyclic_segmented_scan_reference,
+)
+
+T = TypeVar("T")
+
+
+def cyclic_segmented_scan(
+    xs: Sequence[T], segments: Sequence[bool], op: Callable[[T, T], T]
+) -> list[T]:
+    """Behavioural cyclic segmented scan (see module docs).
+
+    ``out[i]`` reduces the inputs from the nearest cyclically preceding
+    segment position (inclusive) through position ``i-1``.
+    """
+    return cyclic_segmented_scan_reference(xs, segments, op)
+
+
+def cyclic_segmented_copy(xs: Sequence[T], segments: Sequence[bool]) -> list[T]:
+    """The register-datapath CSPP: each output is the nearest preceding writer's value."""
+    return cyclic_segmented_scan(xs, segments, lambda a, b: a)
+
+
+def cyclic_segmented_and(conditions: Sequence[bool], segments: Sequence[bool]) -> list[bool]:
+    """The sequencing CSPP (Figure 5): "all earlier stations meet the condition"."""
+    return cyclic_segmented_scan(
+        [bool(c) for c in conditions], segments, lambda a, b: a and b
+    )
+
+
+class CsppTree:
+    """A CSPP tree netlist over *n* positions with payload width *width*.
+
+    Parameters:
+        n: number of leaf positions (execution stations).
+        op: the scan operator (:class:`CopyOp` for register datapaths,
+            :class:`AndOp` for sequencing circuits).
+        radix: arity of the tree (2 = binary as in the paper's figures;
+            4 matches the H-tree floorplan's 4-way recursion).
+
+    The constructed netlist is cyclic (the root's summary re-enters as
+    the root's incoming prefix).  Use :meth:`evaluate` to compute outputs
+    and measure settle time.
+    """
+
+    def __init__(self, n: int, op: ScanOp | None = None, radix: int = 2, name: str = "cspp"):
+        if n < 1:
+            raise ValueError("need at least one position")
+        if radix < 2:
+            raise ValueError("radix must be >= 2")
+        self.n = n
+        self.op = op or CopyOp(1)
+        self.radix = radix
+        self.netlist = Netlist(name=f"{name}(n={n})")
+        nl = self.netlist
+        self.values: list[list[Net]] = [
+            [nl.add_input(f"{name}_x{i}[{b}]") for b in range(self.op.width)] for i in range(n)
+        ]
+        self.segments: list[Net] = [nl.add_input(f"{name}_s{i}") for i in range(n)]
+        self.outputs: list[list[Net]] = [None] * n  # type: ignore[list-item]
+
+        summaries: dict[tuple[int, int], tuple[list[Net], Net]] = {}
+
+        def children(lo: int, hi: int) -> list[tuple[int, int]]:
+            """Split [lo, hi) into up to `radix` contiguous chunks."""
+            count = hi - lo
+            if count <= 1:
+                return []
+            chunk = max(1, (count + self.radix - 1) // self.radix)
+            spans = []
+            start = lo
+            while start < hi:
+                end = min(start + chunk, hi)
+                spans.append((start, end))
+                start = end
+            return spans
+
+        def up(lo: int, hi: int) -> tuple[list[Net], Net]:
+            if (lo, hi) in summaries:
+                return summaries[(lo, hi)]
+            if hi - lo == 1:
+                summary = (self.values[lo], self.segments[lo])
+            else:
+                spans = children(lo, hi)
+                v_acc, s_acc = up(*spans[0])
+                for span in spans[1:]:
+                    v_r, s_r = up(*span)
+                    combined = self.op.combine(nl, v_acc, v_r)
+                    v_acc = _mux_bus(nl, s_r, v_r, combined)
+                    s_acc = nl.add_gate(GateKind.OR, s_acc, s_r)
+                summary = (v_acc, s_acc)
+            summaries[(lo, hi)] = summary
+            return summary
+
+        root_v, _root_s = up(0, n)
+
+        def down(lo: int, hi: int, incoming: list[Net]) -> None:
+            if hi - lo == 1:
+                self.outputs[lo] = incoming
+                return
+            spans = children(lo, hi)
+            prefix = incoming
+            for k, span in enumerate(spans):
+                down(*span, prefix)
+                if k + 1 < len(spans):
+                    v_c, s_c = up(*span)
+                    combined = self.op.combine(nl, prefix, v_c)
+                    prefix = _mux_bus(nl, s_c, v_c, combined)
+
+        # Cyclic: the whole-ring summary is the root's incoming prefix
+        # ("tying together the data lines at the top of the tree and
+        # discarding the top segment bit").
+        down(0, n, root_v)
+
+        for i, out in enumerate(self.outputs):
+            for b, net in enumerate(out):
+                nl.mark_output(f"{name}_y{i}[{b}]", net)
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gates in the constructed netlist."""
+        return self.netlist.gate_count
+
+    def _assignments(self, xs: Sequence[int], segments: Sequence[bool]) -> dict[Net, bool]:
+        if len(xs) != self.n or len(segments) != self.n:
+            raise ValueError(f"expected {self.n} inputs")
+        if not any(segments):
+            raise ValueError("CSPP requires at least one segment bit")
+        assignment: dict[Net, bool] = {}
+        for i in range(self.n):
+            for b, net in enumerate(self.values[i]):
+                assignment[net] = bool((xs[i] >> b) & 1)
+            assignment[self.segments[i]] = bool(segments[i])
+        return assignment
+
+    def simulate(self, xs: Sequence[int], segments: Sequence[bool]) -> SimulationResult:
+        """Run the event-driven simulator on the given inputs."""
+        return self.netlist.simulate(self._assignments(xs, segments))
+
+    def evaluate(self, xs: Sequence[int], segments: Sequence[bool]) -> list[int]:
+        """Settled output values, one integer per position."""
+        result = self.simulate(xs, segments)
+        outs = []
+        for nets in self.outputs:
+            value = 0
+            for b, net in enumerate(nets):
+                if result.value_of(net):
+                    value |= 1 << b
+            outs.append(value)
+        return outs
+
+    def settle_time(self, xs: Sequence[int], segments: Sequence[bool]) -> int:
+        """Settle time (gate delays) for the given inputs."""
+        return self.simulate(xs, segments).settle_time
+
+
+def build_and_cspp(n: int, radix: int = 2) -> CsppTree:
+    """A 1-bit AND-operator CSPP tree (the Figure 5 sequencing circuit)."""
+    return CsppTree(n, op=AndOp(), radix=radix, name="cspp_and")
+
+
+def build_copy_cspp(n: int, width: int = 1, radix: int = 2) -> CsppTree:
+    """A copy-operator CSPP tree carrying *width*-bit payloads (register datapath)."""
+    return CsppTree(n, op=CopyOp(width), radix=radix, name="cspp_copy")

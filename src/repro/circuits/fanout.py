@@ -1,0 +1,56 @@
+"""Buffer fan-out trees (the F nodes of the paper's Figure 8).
+
+The Ultrascalar II avoids broadcasting register numbers and bindings
+along Θ(n + L) wires by fanning them out "through a tree of buffers
+(i.e., one-input gates that compute the identity)", reducing the fan-out
+gate delay from Θ(n + L) to Θ(log(n + L)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import GateKind, Net, Netlist
+
+
+@dataclass(frozen=True)
+class FanoutTree:
+    """A constructed fan-out tree: one source, ``copies`` buffered leaf nets."""
+
+    source: Net
+    leaves: tuple[Net, ...]
+    depth: int
+
+
+def build_fanout_tree(
+    netlist: Netlist, source: Net, copies: int, radix: int = 2
+) -> FanoutTree:
+    """Fan *source* out to *copies* leaf nets via a balanced buffer tree.
+
+    Each tree node is a BUF gate with fan-out at most *radix*, so the
+    depth is ``ceil(log_radix(copies))`` gate delays.  (A naive broadcast
+    has gate depth 1 but unbounded electrical fan-out; the paper's
+    gate-delay model charges bounded fan-out, which the tree restores.)
+    A single copy is the source itself (depth 0).
+    """
+    if copies < 1:
+        raise ValueError("need at least one copy")
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+
+    def expand(src: Net, k: int) -> tuple[list[Net], int]:
+        if k == 1:
+            return [src], 0
+        parts = min(radix, k)
+        sizes = [k // parts + (1 if i < k % parts else 0) for i in range(parts)]
+        leaves: list[Net] = []
+        depth = 0
+        for size in sizes:
+            child = netlist.add_gate(GateKind.BUF, src)
+            sub_leaves, sub_depth = expand(child, size)
+            leaves.extend(sub_leaves)
+            depth = max(depth, sub_depth + 1)
+        return leaves, depth
+
+    leaves, depth = expand(source, copies)
+    return FanoutTree(source=source, leaves=tuple(leaves), depth=depth)

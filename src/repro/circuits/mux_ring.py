@@ -1,0 +1,115 @@
+"""The linear-gate-delay multiplexer ring of the paper's Figure 1.
+
+One ring per logical register: each station's multiplexer either inserts
+its own (value, ready) pair — when its *modified* bit is set — or passes
+along its predecessor's output.  The netlist is genuinely cyclic (a
+combinational loop); the loop is logically cut wherever a modified bit
+is set, and the oldest station always sets all of its modified bits, so
+the event-driven simulator reaches the unique fixed point.  Settle time
+grows as Θ(n), which is exactly the scalability problem the CSPP tree
+(:class:`repro.circuits.cspp.CsppTree`) solves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.netlist import Net, Netlist, SimulationResult
+
+
+class MuxRing:
+    """A cyclic ring of multiplexers over *n* stations, payload *width* bits.
+
+    Station *i*'s output is ``modified[i] ? value[i] : output[i-1]``
+    (indices mod *n*).  The value *received* by station *i* — what its
+    register file latches — is the output of station *i-1*, i.e. the
+    nearest preceding writer's value.
+    """
+
+    def __init__(self, n: int, width: int = 1, name: str = "muxring"):
+        if n < 1:
+            raise ValueError("need at least one station")
+        self.n = n
+        self.width = width
+        self.netlist = Netlist(name=f"{name}(n={n})")
+        nl = self.netlist
+        self.values: list[list[Net]] = [
+            [nl.add_input(f"{name}_x{i}[{b}]") for b in range(width)] for i in range(n)
+        ]
+        self.modified: list[Net] = [nl.add_input(f"{name}_m{i}") for i in range(n)]
+
+        # Create the mux outputs first (they form a cycle), then wire them.
+        # A MUX gate needs its inputs at construction time, so we build the
+        # ring by introducing each mux with a placeholder feedback input and
+        # patching afterwards via a BUF stage:
+        #   out[i] = MUX(m[i], x[i], prev[i]) where prev[i] = out[i-1]
+        # We first create BUF nets prev[i] driven later.
+        self.ring_out: list[list[Net]] = [[None] * width for _ in range(n)]  # type: ignore[list-item]
+
+        # Pass 1: feedback buffers (their drivers are patched in pass 2).
+        feedback: list[list[Net]] = []
+        for i in range(n):
+            feedback.append([nl.add_input(f"{name}_fb{i}[{b}]") for b in range(width)])
+
+        # Pass 2: muxes using the feedback nets.
+        for i in range(n):
+            for b in range(width):
+                self.ring_out[i][b] = nl.mux(
+                    self.modified[i], self.values[i][b], feedback[i][b],
+                    name=f"{name}_out{i}[{b}]",
+                )
+
+        # Pass 3: close the ring by redirecting each feedback net to be
+        # driven by the previous station's output through a BUF gate.
+        # We cannot re-drive an input net, so instead rebuild: replace each
+        # feedback input by making the mux read the previous output via the
+        # fanout lists directly.
+        for i in range(n):
+            prev = (i - 1) % n
+            for b in range(width):
+                fb_net = feedback[i][b]
+                src_net = self.ring_out[prev][b]
+                for gate in fb_net.fanout:
+                    gate.inputs = tuple(src_net if net is fb_net else net for net in gate.inputs)
+                    src_net.fanout.append(gate)
+                fb_net.fanout.clear()
+                nl.inputs.remove(fb_net)
+
+        for i in range(n):
+            for b in range(width):
+                nl.mark_output(f"{name}_y{i}[{b}]", self.ring_out[i][b])
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gates (one mux per station per bit)."""
+        return self.netlist.gate_count
+
+    def simulate(self, xs: Sequence[int], modified: Sequence[bool]) -> SimulationResult:
+        """Run the event-driven simulator; requires >= 1 modified bit."""
+        if len(xs) != self.n or len(modified) != self.n:
+            raise ValueError(f"expected {self.n} inputs")
+        if not any(modified):
+            raise ValueError("mux ring requires at least one modified bit to settle")
+        assignment: dict[Net, bool] = {}
+        for i in range(self.n):
+            for b, net in enumerate(self.values[i]):
+                assignment[net] = bool((xs[i] >> b) & 1)
+            assignment[self.modified[i]] = bool(modified[i])
+        return self.netlist.simulate(assignment)
+
+    def evaluate(self, xs: Sequence[int], modified: Sequence[bool]) -> list[int]:
+        """Settled *incoming* value at each station (previous station's output)."""
+        result = self.simulate(xs, modified)
+        outs = []
+        for i in range(self.n):
+            prev = (i - 1) % self.n
+            value = 0
+            for b, net in enumerate(self.ring_out[prev]):
+                if result.value_of(net):
+                    value |= 1 << b
+            outs.append(value)
+        return outs
+
+    def settle_time(self, xs: Sequence[int], modified: Sequence[bool]) -> int:
+        """Settle time in gate delays for the given inputs."""
+        return self.simulate(xs, modified).settle_time

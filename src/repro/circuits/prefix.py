@@ -1,0 +1,346 @@
+"""Segmented parallel-prefix (scan) circuits: semantics and netlists.
+
+The paper builds everything from segmented scans:
+
+* The Ultrascalar I register datapath is a *cyclic* segmented scan with
+  the copy operator ``a (x) b = a`` (the nearest earlier writer's value
+  propagates); see :mod:`repro.circuits.cspp`.
+* The instruction-sequencing circuits (oldest-station tracking,
+  load/store ordering, branch commit) are cyclic segmented scans with
+  the AND operator (Figure 5).
+* The Ultrascalar II columns are *noncyclic* segmented scans with the
+  copy operator, with the comparator match bits as segment bits
+  (Figure 7/8).
+
+This module defines the reference semantics (:func:`segmented_scan` and
+helpers, against which everything is property-tested), NumPy-vectorized
+helpers for the fast processor engine, and two generic netlist builders
+— a linear (Θ(n) delay) chain and a balanced tree (Θ(log n) delay) —
+used to *measure* the paper's gate-delay claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.circuits.netlist import GateKind, Net, Netlist
+
+T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# Reference (behavioural) semantics
+# ---------------------------------------------------------------------------
+
+
+def segmented_scan(
+    xs: Sequence[T],
+    segments: Sequence[bool],
+    op: Callable[[T, T], T],
+    initial: T,
+) -> list[T]:
+    """Noncyclic segmented scan.
+
+    Returns ``y`` where ``y[i]`` is the reduction (by *op*) of
+    ``x[j] .. x[i-1]``, with ``j`` the nearest index ``<= i-1`` whose
+    segment bit is set; positions before any segment accumulate from
+    *initial*.  This matches the paper's definition: "the accumulative
+    result of applying an associative operator to all the preceding nodes
+    up to and including the nearest node whose segment bit is high."
+    """
+    if len(xs) != len(segments):
+        raise ValueError("xs and segments must have equal length")
+    ys: list[T] = []
+    acc = initial
+    for x, seg in zip(xs, segments):
+        ys.append(acc)
+        acc = x if seg else op(acc, x)
+    return ys
+
+
+def cyclic_segmented_scan_reference(
+    xs: Sequence[T],
+    segments: Sequence[bool],
+    op: Callable[[T, T], T],
+) -> list[T]:
+    """Cyclic segmented scan (reference implementation).
+
+    ``y[i]`` reduces ``x[j] .. x[i-1]`` taken cyclically, with ``j`` the
+    nearest *cyclically* preceding position whose segment bit is set.
+    Requires at least one segment bit (in the Ultrascalar the oldest
+    station always raises its segment bits, so this always holds).
+    """
+    n = len(xs)
+    if len(segments) != n:
+        raise ValueError("xs and segments must have equal length")
+    if not any(segments):
+        raise ValueError("cyclic segmented scan requires at least one segment bit")
+    start = max(i for i in range(n) if segments[i])
+    ys: list[T | None] = [None] * n
+    acc = xs[start]
+    for k in range(1, n + 1):
+        i = (start + k) % n
+        ys[i] = acc
+        acc = xs[i] if segments[i] else op(acc, xs[i])
+    return ys  # type: ignore[return-value]
+
+
+def nearest_preceding_writer(segments: Sequence[bool]) -> list[int | None]:
+    """For each position, the nearest earlier index with a set segment bit.
+
+    Noncyclic; ``None`` where no earlier writer exists.  This is the
+    index view of the copy-operator scan.
+    """
+    result: list[int | None] = []
+    last: int | None = None
+    for i, seg in enumerate(segments):
+        result.append(last)
+        if seg:
+            last = i
+    return result
+
+
+def cyclic_nearest_preceding_writer(segments: Sequence[bool]) -> list[int]:
+    """Cyclic version of :func:`nearest_preceding_writer`.
+
+    Requires at least one segment bit.  ``result[i]`` is the index of the
+    nearest cyclically-preceding position with its segment bit set.
+    """
+    n = len(segments)
+    if not any(segments):
+        raise ValueError("requires at least one segment bit")
+    result = [0] * n
+    # walk twice around the ring so every position sees a preceding writer
+    last = max(i for i in range(n) if segments[i])
+    for k in range(1, n + 1):
+        i = (last + k) % n
+        j = (last + k - 1) % n
+        result[i] = j if segments[j] else result[j]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# NumPy-vectorized helpers (used by the fast processor engine)
+# ---------------------------------------------------------------------------
+
+
+def np_cyclic_nearest_preceding_writer(segments: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`cyclic_nearest_preceding_writer`.
+
+    *segments* is a boolean array of shape ``(..., n)``; the scan runs
+    along the last axis independently for each leading index (one row
+    per logical register in the Ultrascalar datapath).  Every row must
+    contain at least one True.
+    """
+    segments = np.asarray(segments, dtype=bool)
+    n = segments.shape[-1]
+    if not np.all(segments.any(axis=-1)):
+        raise ValueError("every row needs at least one segment bit")
+    # Work in a doubled index domain so "nearest preceding" is monotone
+    # across the wrap, then fold back with mod n.
+    doubled_segments = np.concatenate([segments, segments], axis=-1)
+    indices = np.where(doubled_segments, np.arange(2 * n), -1)
+    running = np.maximum.accumulate(indices, axis=-1)
+    # incoming to position i = last writer at a position <= i-1, wrapped:
+    # positions n+i-1 of the doubled running max cover exactly that.
+    return running[..., n - 1 : 2 * n - 1] % n
+
+
+def np_cyclic_segmented_and(conditions: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Vectorized cyclic segmented AND scan (the paper's Figure 5 circuit).
+
+    ``out[i]`` is True iff every position from the nearest cyclically
+    preceding segment position through ``i-1`` (inclusive of the segment
+    position) meets its condition.  Operates on 1-D arrays.
+    """
+    conditions = np.asarray(conditions, dtype=bool)
+    segments = np.asarray(segments, dtype=bool)
+    n = conditions.shape[0]
+    if not segments.any():
+        raise ValueError("requires at least one segment bit")
+    start = int(np.max(np.nonzero(segments)[0]))
+    order = (start + 1 + np.arange(n)) % n  # positions after the start segment
+    # rotate so the scan is a plain (noncyclic) segmented AND starting at `start`
+    conds = conditions[np.concatenate(([start], order[:-1]))]
+    segs = segments[np.concatenate(([start], order[:-1]))]
+    out_rot = np.empty(n, dtype=bool)
+    acc = True
+    for k in range(n):  # small n per call; rows vectorized by caller when needed
+        if segs[k]:
+            acc = bool(conds[k])
+        else:
+            acc = acc and bool(conds[k])
+        out_rot[k] = acc
+    out = np.empty(n, dtype=bool)
+    out[order] = out_rot
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Netlist builders
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanPorts:
+    """Primary nets of a constructed scan netlist.
+
+    Attributes:
+        values: per-position payload input nets, ``values[i][b]`` = bit b.
+        segments: per-position segment-bit input nets.
+        outputs: per-position scan output nets (same shape as values).
+        initial: the initial-value input nets (noncyclic scans only).
+    """
+
+    values: list[list[Net]]
+    segments: list[Net]
+    outputs: list[list[Net]]
+    initial: list[Net] | None = None
+
+
+class ScanOp:
+    """Gate-level description of an associative operator for scan netlists."""
+
+    #: payload width in bits
+    width: int = 1
+
+    def combine(self, netlist: Netlist, a: list[Net], b: list[Net]) -> list[Net]:
+        """Build gates computing ``a (x) b``; returns the output nets."""
+        raise NotImplementedError
+
+
+class AndOp(ScanOp):
+    """The 1-bit AND operator of the paper's Figure 5 sequencing circuits."""
+
+    width = 1
+
+    def combine(self, netlist: Netlist, a: list[Net], b: list[Net]) -> list[Net]:
+        return [netlist.add_gate(GateKind.AND, a[0], b[0])]
+
+
+class CopyOp(ScanOp):
+    """The copy operator ``a (x) b = a`` used by the register datapaths.
+
+    Combining is free (wires); all cost is in the segment muxes the scan
+    builders insert.
+    """
+
+    def __init__(self, width: int = 1):
+        self.width = width
+
+    def combine(self, netlist: Netlist, a: list[Net], b: list[Net]) -> list[Net]:
+        return list(a)
+
+
+def _mux_bus(netlist: Netlist, sel: Net, a: list[Net], b: list[Net]) -> list[Net]:
+    """Per-bit ``sel ? a : b``."""
+    return [netlist.mux(sel, ai, bi) for ai, bi in zip(a, b)]
+
+
+def build_linear_scan(
+    netlist: Netlist, n: int, op: ScanOp, name: str = "scan"
+) -> ScanPorts:
+    """Noncyclic segmented scan as a linear chain: Θ(n) gate delay.
+
+    Recurrence per position: ``y[0] = initial``,
+    ``y[i+1] = s[i] ? x[i] : (y[i] (x) x[i])``.
+    """
+    values = [[netlist.add_input(f"{name}_x{i}[{b}]") for b in range(op.width)] for i in range(n)]
+    segments = [netlist.add_input(f"{name}_s{i}") for i in range(n)]
+    initial = [netlist.add_input(f"{name}_init[{b}]") for b in range(op.width)]
+    outputs: list[list[Net]] = []
+    acc = initial
+    for i in range(n):
+        outputs.append(acc)
+        combined = op.combine(netlist, acc, values[i])
+        acc = _mux_bus(netlist, segments[i], values[i], combined)
+    for i, out in enumerate(outputs):
+        for b, net in enumerate(out):
+            netlist.mark_output(f"{name}_y{i}[{b}]", net)
+    return ScanPorts(values=values, segments=segments, outputs=outputs, initial=initial)
+
+
+def build_tree_scan(
+    netlist: Netlist, n: int, op: ScanOp, name: str = "tscan"
+) -> ScanPorts:
+    """Noncyclic segmented scan as a balanced tree: Θ(log n) gate delay.
+
+    Up-sweep computes per-subtree summaries ``(v, s)`` with
+    ``v = s_r ? v_r : (v_l (x) v_r)`` and ``s = s_l | s_r``; the
+    down-sweep routes incoming prefixes:
+    ``in_left = in_node``, ``in_right = s_l ? v_l : (in_node (x) v_l)``.
+    """
+    values = [[netlist.add_input(f"{name}_x{i}[{b}]") for b in range(op.width)] for i in range(n)]
+    segments = [netlist.add_input(f"{name}_s{i}") for i in range(n)]
+    initial = [netlist.add_input(f"{name}_init[{b}]") for b in range(op.width)]
+
+    summaries: dict[tuple[int, int], tuple[list[Net], Net]] = {}
+
+    def up_memo(lo: int, hi: int) -> tuple[list[Net], Net]:
+        if (lo, hi) not in summaries:
+            if hi - lo == 1:
+                summaries[(lo, hi)] = (values[lo], segments[lo])
+            else:
+                mid = (lo + hi) // 2
+                v_l, s_l = up_memo(lo, mid)
+                v_r, s_r = up_memo(mid, hi)
+                combined = op.combine(netlist, v_l, v_r)
+                v = _mux_bus(netlist, s_r, v_r, combined)
+                s = netlist.add_gate(GateKind.OR, s_l, s_r)
+                summaries[(lo, hi)] = (v, s)
+        return summaries[(lo, hi)]
+
+    up_memo(0, n)
+    outputs: list[list[Net]] = [None] * n  # type: ignore[list-item]
+
+    def down(lo: int, hi: int, incoming: list[Net]) -> None:
+        if hi - lo == 1:
+            outputs[lo] = incoming
+            return
+        mid = (lo + hi) // 2
+        v_l, s_l = up_memo(lo, mid)
+        combined = op.combine(netlist, incoming, v_l)
+        incoming_right = _mux_bus(netlist, s_l, v_l, combined)
+        down(lo, mid, incoming)
+        down(mid, hi, incoming_right)
+
+    down(0, n, initial)
+    for i, out in enumerate(outputs):
+        for b, net in enumerate(out):
+            netlist.mark_output(f"{name}_y{i}[{b}]", net)
+    return ScanPorts(values=values, segments=segments, outputs=outputs, initial=initial)
+
+
+def assign_scan_inputs(
+    ports: ScanPorts,
+    xs: Sequence[int],
+    segments: Sequence[bool],
+    initial: int = 0,
+) -> dict[Net, bool]:
+    """Build a simulator assignment dict for a scan netlist's inputs."""
+    if len(xs) != len(ports.values) or len(segments) != len(ports.segments):
+        raise ValueError("input length mismatch")
+    assignment: dict[Net, bool] = {}
+    for i, x in enumerate(xs):
+        for b, net in enumerate(ports.values[i]):
+            assignment[net] = bool((x >> b) & 1)
+        assignment[ports.segments[i]] = bool(segments[i])
+    if ports.initial is not None:
+        for b, net in enumerate(ports.initial):
+            assignment[net] = bool((initial >> b) & 1)
+    return assignment
+
+
+def read_scan_outputs(ports: ScanPorts, result) -> list[int]:
+    """Read integer scan outputs back out of a simulation result."""
+    outs = []
+    for nets in ports.outputs:
+        value = 0
+        for b, net in enumerate(nets):
+            if result.value_of(net):
+                value |= 1 << b
+        outs.append(value)
+    return outs

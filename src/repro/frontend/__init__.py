@@ -1,0 +1,32 @@
+"""Instruction-delivery front end: branch prediction and fetch.
+
+All three Ultrascalar processors "speculate on branches, and
+effortlessly recover from branch mispredictions"; the speculation
+itself comes from this front end.  The fetch unit walks the predicted
+path (optionally through a trace cache so a single cycle can span taken
+branches) and hands dynamic instructions to whichever processor model
+is running.
+"""
+
+from repro.frontend.branch_predictor import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BackwardTaken,
+    BimodalPredictor,
+    BranchPredictor,
+    GSharePredictor,
+    PerfectPredictor,
+)
+from repro.frontend.fetch import FetchedInstruction, FetchUnit
+
+__all__ = [
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "BackwardTaken",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "GSharePredictor",
+    "PerfectPredictor",
+    "FetchedInstruction",
+    "FetchUnit",
+]

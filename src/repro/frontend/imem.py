@@ -1,0 +1,51 @@
+"""Instruction memory: the program as encoded 32-bit words.
+
+The processor models normally fetch decoded :class:`Instruction`
+objects directly; this module closes the realism gap by storing the
+program in its binary encoding (:mod:`repro.isa.encoding`) and decoding
+words at fetch time.  Branch/jump targets survive the round trip because
+the encoding stores static instruction indices, the same address space
+the fetch unit uses.
+
+Limited to machines with L <= 32 (the 5-bit register fields of the
+encoding) — which covers the paper's empirical configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+
+
+@dataclass
+class InstructionMemory:
+    """The program, stored encoded; decodes on demand."""
+
+    words: list[int]
+
+    @staticmethod
+    def from_program(program: Program) -> "InstructionMemory":
+        """Encode every instruction (raises EncodingError if L > 32)."""
+        return InstructionMemory([encode_instruction(inst) for inst in program])
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def fetch_word(self, pc: int) -> int:
+        """The raw 32-bit word at *pc*."""
+        return self.words[pc]
+
+    def fetch_decode(self, pc: int) -> Instruction:
+        """Decode the instruction at *pc*."""
+        return decode_instruction(self.words[pc])
+
+    def verify_against(self, program: Program) -> bool:
+        """Round-trip check: decoding every word reproduces the program."""
+        if len(self.words) != len(program):
+            return False
+        return all(
+            self.fetch_decode(pc) == program[pc] for pc in range(len(program))
+        )

@@ -1,0 +1,208 @@
+"""A two-pass text assembler for the reproduced RISC ISA.
+
+Syntax (one instruction per line; ``#`` or ``;`` start comments)::
+
+    start:
+        li   r1, 10
+        li   r2, 3
+        div  r3, r1, r2      # r3 = r1 / r2
+        lw   r4, 8(r5)
+        sw   r4, 0(r6)
+        beq  r1, r0, done
+        j    start
+    done:
+        halt
+
+Labels may be used anywhere a branch/jump target is expected; numeric
+targets (``@12``) are also accepted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, MNEMONICS, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import MachineSpec
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with line information."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_REG_RE = re.compile(r"^[rR](\d+)$")
+_MEM_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))\(([rR]\d+)\)$")
+_NUM_RE = re.compile(r"^-?(?:0[xX][0-9a-fA-F]+|\d+)$")
+_TARGET_RE = re.compile(r"^@(\d+)$")
+
+
+def _parse_reg(token: str, spec: MachineSpec, line_no: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblerError(line_no, f"expected register, got {token!r}")
+    reg = int(match.group(1))
+    try:
+        return spec.validate_register(reg)
+    except ValueError as exc:
+        raise AssemblerError(line_no, str(exc)) from exc
+
+
+def _parse_imm(token: str, line_no: int) -> int:
+    if not _NUM_RE.match(token):
+        raise AssemblerError(line_no, f"expected immediate, got {token!r}")
+    return int(token, 0)
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def assemble(source: str, spec: MachineSpec | None = None) -> Program:
+    """Assemble *source* text into a :class:`Program`.
+
+    Raises :class:`AssemblerError` on any malformed line or undefined
+    label.
+    """
+    spec = spec or MachineSpec()
+    labels: dict[str, int] = {}
+    parsed: list[tuple[int, Opcode, list[str]]] = []  # (line_no, opcode, operand tokens)
+
+    # Pass 1: strip comments, record labels, tokenize instructions.
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblerError(line_no, f"duplicate label {name!r}")
+                labels[name] = len(parsed)
+                line = match.group(2).strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in MNEMONICS:
+            raise AssemblerError(line_no, f"unknown mnemonic {mnemonic!r}")
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        parsed.append((line_no, MNEMONICS[mnemonic], operands))
+
+    # Pass 2: build instructions, resolving label targets.
+    def resolve_target(token: str, line_no: int) -> int:
+        match = _TARGET_RE.match(token)
+        if match:
+            return int(match.group(1))
+        if token in labels:
+            return labels[token]
+        raise AssemblerError(line_no, f"undefined label {token!r}")
+
+    instructions: list[Instruction] = []
+    for line_no, op, operands in parsed:
+        fmt = op.fmt
+        try:
+            if fmt is Format.R3:
+                _expect_count(operands, 3, line_no)
+                instructions.append(
+                    Instruction(
+                        op,
+                        rd=_parse_reg(operands[0], spec, line_no),
+                        rs1=_parse_reg(operands[1], spec, line_no),
+                        rs2=_parse_reg(operands[2], spec, line_no),
+                    )
+                )
+            elif fmt is Format.R2:
+                _expect_count(operands, 2, line_no)
+                instructions.append(
+                    Instruction(
+                        op,
+                        rd=_parse_reg(operands[0], spec, line_no),
+                        rs1=_parse_reg(operands[1], spec, line_no),
+                    )
+                )
+            elif fmt is Format.I2:
+                _expect_count(operands, 3, line_no)
+                instructions.append(
+                    Instruction(
+                        op,
+                        rd=_parse_reg(operands[0], spec, line_no),
+                        rs1=_parse_reg(operands[1], spec, line_no),
+                        imm=_parse_imm(operands[2], line_no),
+                    )
+                )
+            elif fmt is Format.I1:
+                _expect_count(operands, 2, line_no)
+                instructions.append(
+                    Instruction(
+                        op,
+                        rd=_parse_reg(operands[0], spec, line_no),
+                        imm=_parse_imm(operands[1], line_no),
+                    )
+                )
+            elif fmt is Format.MEM:
+                _expect_count(operands, 2, line_no)
+                mem_match = _MEM_RE.match(operands[1])
+                if not mem_match:
+                    raise AssemblerError(
+                        line_no, f"expected offset(reg) operand, got {operands[1]!r}"
+                    )
+                offset = int(mem_match.group(1), 0)
+                base = _parse_reg(mem_match.group(2), spec, line_no)
+                if op is Opcode.LW:
+                    instructions.append(
+                        Instruction(
+                            op,
+                            rd=_parse_reg(operands[0], spec, line_no),
+                            rs1=base,
+                            imm=offset,
+                        )
+                    )
+                else:
+                    instructions.append(
+                        Instruction(
+                            op,
+                            rs2=_parse_reg(operands[0], spec, line_no),
+                            rs1=base,
+                            imm=offset,
+                        )
+                    )
+            elif fmt is Format.B2:
+                _expect_count(operands, 3, line_no)
+                instructions.append(
+                    Instruction(
+                        op,
+                        rs1=_parse_reg(operands[0], spec, line_no),
+                        rs2=_parse_reg(operands[1], spec, line_no),
+                        target=resolve_target(operands[2], line_no),
+                    )
+                )
+            elif fmt is Format.J:
+                _expect_count(operands, 1, line_no)
+                instructions.append(Instruction(op, target=resolve_target(operands[0], line_no)))
+            else:  # Format.NONE
+                _expect_count(operands, 0, line_no)
+                instructions.append(Instruction(op))
+        except ValueError as exc:
+            if isinstance(exc, AssemblerError):
+                raise
+            raise AssemblerError(line_no, str(exc)) from exc
+
+    try:
+        return Program(tuple(instructions), labels, spec)
+    except ValueError as exc:
+        raise AssemblerError(0, str(exc)) from exc
+
+
+def _expect_count(operands: list[str], count: int, line_no: int) -> None:
+    if len(operands) != count:
+        raise AssemblerError(line_no, f"expected {count} operands, got {len(operands)}")

@@ -1,0 +1,123 @@
+"""A MIPS-like 32-bit binary instruction encoding.
+
+Layout (bit 31 is the most significant):
+
+* R-format  ``op[31:26] rd[25:21] rs1[20:16] rs2[15:11] zero[10:0]``
+* I-format  ``op[31:26] rd[25:21] rs1[20:16] imm16[15:0]``   (also MEM)
+* B-format  ``op[31:26] rs1[25:21] rs2[20:16] target16[15:0]``
+* J-format  ``op[31:26] target26[25:0]``
+
+Register fields are 5 bits, so the binary encoding supports machines with
+up to 32 logical registers (the paper's empirical configuration).  The
+rest of the library operates on decoded :class:`Instruction` objects and
+supports any ``L``; the encoder exists so that the fetch path, trace
+cache, and instruction memory can store realistic 32-bit words.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CODES, Format, Opcode
+from repro.util.bitops import to_signed, to_unsigned
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in 32 bits."""
+
+
+_REG_BITS = 5
+_IMM_BITS = 16
+_TARGET_BITS = 26
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < (1 << _REG_BITS):
+        raise EncodingError(f"register r{reg} does not fit in {_REG_BITS} bits")
+    return reg
+
+
+def _check_imm(imm: int, bits: int) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= imm <= hi:
+        raise EncodingError(f"immediate {imm} does not fit in {bits} signed bits")
+    return to_unsigned(imm, bits)
+
+
+def _check_target(target: int, bits: int) -> int:
+    if not 0 <= target < (1 << bits):
+        raise EncodingError(f"target {target} does not fit in {bits} bits")
+    return target
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode *inst* into a 32-bit word."""
+    op = inst.op.code << 26
+    fmt = inst.op.fmt
+    if fmt is Format.R3:
+        return (
+            op
+            | (_check_reg(inst.rd) << 21)
+            | (_check_reg(inst.rs1) << 16)
+            | (_check_reg(inst.rs2) << 11)
+        )
+    if fmt is Format.R2:
+        return op | (_check_reg(inst.rd) << 21) | (_check_reg(inst.rs1) << 16)
+    if fmt is Format.I2:
+        return (
+            op
+            | (_check_reg(inst.rd) << 21)
+            | (_check_reg(inst.rs1) << 16)
+            | _check_imm(inst.imm, _IMM_BITS)
+        )
+    if fmt is Format.I1:
+        return op | (_check_reg(inst.rd) << 21) | _check_imm(inst.imm, _IMM_BITS)
+    if fmt is Format.MEM:
+        data_reg = inst.rd if inst.op is Opcode.LW else inst.rs2
+        return (
+            op
+            | (_check_reg(data_reg) << 21)
+            | (_check_reg(inst.rs1) << 16)
+            | _check_imm(inst.imm, _IMM_BITS)
+        )
+    if fmt is Format.B2:
+        return (
+            op
+            | (_check_reg(inst.rs1) << 21)
+            | (_check_reg(inst.rs2) << 16)
+            | _check_target(inst.target, _IMM_BITS)
+        )
+    if fmt is Format.J:
+        return op | _check_target(inst.target, _TARGET_BITS)
+    return op  # Format.NONE
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"word {word:#x} is not a 32-bit value")
+    code = (word >> 26) & 0x3F
+    if code not in CODES:
+        raise EncodingError(f"unknown opcode code {code}")
+    op = CODES[code]
+    fmt = op.fmt
+    f21 = (word >> 21) & 0x1F
+    f16 = (word >> 16) & 0x1F
+    f11 = (word >> 11) & 0x1F
+    imm = to_signed(word & 0xFFFF, _IMM_BITS)
+    if fmt is Format.R3:
+        return Instruction(op, rd=f21, rs1=f16, rs2=f11)
+    if fmt is Format.R2:
+        return Instruction(op, rd=f21, rs1=f16)
+    if fmt is Format.I2:
+        return Instruction(op, rd=f21, rs1=f16, imm=imm)
+    if fmt is Format.I1:
+        return Instruction(op, rd=f21, imm=imm)
+    if fmt is Format.MEM:
+        if op is Opcode.LW:
+            return Instruction(op, rd=f21, rs1=f16, imm=imm)
+        return Instruction(op, rs2=f21, rs1=f16, imm=imm)
+    if fmt is Format.B2:
+        return Instruction(op, rs1=f21, rs2=f16, target=word & 0xFFFF)
+    if fmt is Format.J:
+        return Instruction(op, target=word & ((1 << _TARGET_BITS) - 1))
+    return Instruction(op)

@@ -1,0 +1,131 @@
+"""The :class:`Instruction` value type.
+
+An instruction is immutable and hashable; the dynamic (per-execution)
+state lives in the processor models, never here.  The accessors
+:meth:`Instruction.reads` and :meth:`Instruction.writes` expose the
+read/write register sets that every datapath (mux rings, CSPP trees,
+comparator columns) consumes; the ISA guarantees ``len(reads) <= 2`` and
+``len(writes) <= 1`` as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Format, Opcode
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Fields not used by the opcode's format must be ``None``; the
+    constructor enforces this so that malformed instructions are
+    impossible to represent.
+
+    Attributes:
+        op: the opcode.
+        rd: destination register (written), if any.
+        rs1: first source register, if any.
+        rs2: second source register, if any.
+        imm: immediate operand (16-bit signed for I-format/MEM offsets).
+        target: branch/jump target as a *static instruction index*.
+    """
+
+    op: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | None = None
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        fmt = self.op.fmt
+        expect = {
+            Format.R3: ("rd", "rs1", "rs2"),
+            Format.R2: ("rd", "rs1"),
+            Format.I2: ("rd", "rs1", "imm"),
+            Format.I1: ("rd", "imm"),
+            Format.MEM: self._mem_fields(),
+            Format.B2: ("rs1", "rs2", "target"),
+            Format.J: ("target",),
+            Format.NONE: (),
+        }[fmt]
+        for field in ("rd", "rs1", "rs2", "imm", "target"):
+            value = getattr(self, field)
+            if field in expect and value is None:
+                raise ValueError(f"{self.op.mnemonic}: missing operand {field}")
+            if field not in expect and value is not None:
+                raise ValueError(f"{self.op.mnemonic}: unexpected operand {field}={value}")
+
+    def _mem_fields(self) -> tuple[str, ...]:
+        # lw rd, imm(rs1);  sw rs2, imm(rs1)
+        if self.op is Opcode.LW:
+            return ("rd", "rs1", "imm")
+        return ("rs1", "rs2", "imm")
+
+    @property
+    def reads(self) -> tuple[int, ...]:
+        """Logical registers this instruction reads (0, 1, or 2 of them)."""
+        regs = []
+        if self.rs1 is not None:
+            regs.append(self.rs1)
+        if self.rs2 is not None:
+            regs.append(self.rs2)
+        return tuple(regs)
+
+    @property
+    def writes(self) -> tuple[int, ...]:
+        """Logical registers this instruction writes (0 or 1 of them)."""
+        return (self.rd,) if self.rd is not None else ()
+
+    @property
+    def is_load(self) -> bool:
+        """True for memory loads."""
+        return self.op is Opcode.LW
+
+    @property
+    def is_store(self) -> bool:
+        """True for memory stores."""
+        return self.op is Opcode.SW
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches (not unconditional jumps)."""
+        return self.op.fmt is Format.B2
+
+    @property
+    def is_control(self) -> bool:
+        """True for any control transfer (branch or jump)."""
+        return self.op.fmt in (Format.B2, Format.J)
+
+    @property
+    def is_halt(self) -> bool:
+        """True for the HALT instruction."""
+        return self.op is Opcode.HALT
+
+    def __str__(self) -> str:
+        fmt = self.op.fmt
+        m = self.op.mnemonic
+        if fmt is Format.R3:
+            return f"{m} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if fmt is Format.R2:
+            return f"{m} r{self.rd}, r{self.rs1}"
+        if fmt is Format.I2:
+            return f"{m} r{self.rd}, r{self.rs1}, {self.imm}"
+        if fmt is Format.I1:
+            return f"{m} r{self.rd}, {self.imm}"
+        if fmt is Format.MEM:
+            if self.op is Opcode.LW:
+                return f"{m} r{self.rd}, {self.imm}(r{self.rs1})"
+            return f"{m} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if fmt is Format.B2:
+            return f"{m} r{self.rs1}, r{self.rs2}, @{self.target}"
+        if fmt is Format.J:
+            return f"{m} @{self.target}"
+        return m

@@ -1,0 +1,52 @@
+"""Functional-unit latency configuration.
+
+The paper's Figure 3 timing diagram "assume[s] that division takes 10
+clock cycles, multiplication 3, and addition 1"; those are the defaults
+here.  Load latency is the *execution* latency on a cache hit — cache
+misses add time through :mod:`repro.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OpClass, Opcode
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Cycles each functional class occupies before its result is ready."""
+
+    alu: int = 1
+    mul: int = 3
+    div: int = 10
+    load: int = 1
+    store: int = 1
+    branch: int = 1
+    jump: int = 1
+    system: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("alu", "mul", "div", "load", "store", "branch", "jump", "system"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"latency {name} must be >= 1")
+
+    def latency_of(self, op: Opcode) -> int:
+        """The execution latency, in cycles, of *op*."""
+        return {
+            OpClass.ALU: self.alu,
+            OpClass.MUL: self.mul,
+            OpClass.DIV: self.div,
+            OpClass.LOAD: self.load,
+            OpClass.STORE: self.store,
+            OpClass.BRANCH: self.branch,
+            OpClass.JUMP: self.jump,
+            OpClass.SYSTEM: self.system,
+        }[op.op_class]
+
+
+#: Latencies used by the paper's Figure 3 timing diagram.
+PAPER_LATENCIES = LatencyModel(alu=1, mul=3, div=10)
+
+#: All-unit latencies, useful for isolating scheduling effects in tests.
+UNIT_LATENCIES = LatencyModel(alu=1, mul=1, div=1, load=1, store=1, branch=1, jump=1, system=1)

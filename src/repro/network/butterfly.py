@@ -1,0 +1,114 @@
+"""A butterfly network — the paper's alternative memory interconnect.
+
+An ``n``-input, ``n``-output butterfly with ``log2 n`` switch stages.
+Deterministic destination-tag routing: at stage ``k`` a packet follows
+the straight or cross edge according to bit ``k`` of its destination.
+Two packets conflict when they need the same output port of the same
+switch in the same cycle; :meth:`ButterflyNetwork.route_batch` reports
+which of a batch of packets can proceed conflict-free (oldest first),
+mirroring :meth:`repro.network.fattree.FatTree.admit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ButterflyRouting:
+    """Result of routing one batch through the butterfly."""
+
+    granted: tuple[int, ...]
+    denied: tuple[int, ...]
+    #: per granted request, the switch path as (stage, row) pairs
+    paths: dict[int, tuple[tuple[int, int], ...]]
+
+
+class ButterflyNetwork:
+    """A radix-2 butterfly over ``n = 2**stages`` terminals."""
+
+    def __init__(self, n: int):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"butterfly size must be a power of two >= 2, got {n}")
+        self.n = n
+        self.stages = n.bit_length() - 1
+
+    def path(self, source: int, destination: int) -> tuple[tuple[int, int], ...]:
+        """Switch (stage, row) sequence from *source* to *destination*.
+
+        Destination-tag routing: after stage ``k`` the packet's row agrees
+        with the destination in bits ``0..k``.
+        """
+        if not (0 <= source < self.n and 0 <= destination < self.n):
+            raise ValueError("terminal out of range")
+        row = source
+        hops = []
+        for stage in range(self.stages):
+            # fix bit `stage` of the row to match the destination
+            bit = 1 << stage
+            row = (row & ~bit) | (destination & bit)
+            hops.append((stage, row))
+        return tuple(hops)
+
+    def route_batch(self, requests: Sequence[tuple[int, int]]) -> ButterflyRouting:
+        """Route a batch of (source, destination) pairs, oldest first.
+
+        A request is denied if any (stage, row) output port on its path is
+        already taken this cycle.
+        """
+        used: set[tuple[int, int]] = set()
+        granted: list[int] = []
+        denied: list[int] = []
+        paths: dict[int, tuple[tuple[int, int], ...]] = {}
+        for index, (source, destination) in enumerate(requests):
+            hops = self.path(source, destination)
+            if any(hop in used for hop in hops):
+                denied.append(index)
+            else:
+                used.update(hops)
+                granted.append(index)
+                paths[index] = hops
+        return ButterflyRouting(granted=tuple(granted), denied=tuple(denied), paths=paths)
+
+    @property
+    def switch_count(self) -> int:
+        """Total 2x2 switches: (n/2) switches per stage x stages."""
+        return (self.n // 2) * self.stages
+
+
+class ButterflyFrontEnd:
+    """Adapter: a butterfly as the cache's admission network.
+
+    The paper proposes connecting stations to memory "via two fat-tree
+    or butterfly networks"; :class:`repro.memory.interleaved_cache.
+    InterleavedCache` accepts either through the same ``admit`` duck
+    type.  Each memory request routes from its station's terminal to its
+    bank's terminal; conflicting requests retry next cycle.
+    """
+
+    def __init__(self, n: int, banks: int):
+        if banks < 1:
+            raise ValueError("need at least one bank")
+        self.network = ButterflyNetwork(n)
+        self.banks = banks
+        self.n = n
+
+    def admit(self, leaves, banks=None):
+        """Route one cycle of requests (oldest first).
+
+        *leaves* are source terminals; *banks* the per-request target
+        banks (defaults to leaf order when the caller cannot supply
+        them).  Returns an object with ``granted``/``denied`` index
+        tuples, mirroring :class:`repro.network.fattree.FatTreeRouting`.
+        """
+        if banks is None:
+            banks = [0] * len(leaves)
+        pairs = [
+            (leaf % self.n, (self.n - self.banks) + (bank % self.banks))
+            for leaf, bank in zip(leaves, banks)
+        ]
+        routing = self.network.route_batch(pairs)
+        from repro.network.fattree import FatTreeRouting
+
+        return FatTreeRouting(granted=routing.granted, denied=routing.denied)

@@ -1,0 +1,70 @@
+"""Mesh-of-trees structural statistics (Leighton).
+
+The Ultrascalar II's log-depth datapath is a mesh-of-trees: one fan-out
+tree per row (register binding) and per column request, and one
+reduction tree per consumer column.  These counts back the paper's
+Section 5 observation that the tree version inflates the side length to
+Θ((n + L) log(n + L)) in two dimensions, while the node/leaf counts
+themselves stay Θ((n + L)^2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeshOfTreesStats:
+    """Structural counts for an ``rows x cols`` mesh-of-trees."""
+
+    rows: int
+    cols: int
+    crosspoints: int
+    row_tree_nodes: int
+    col_tree_nodes: int
+    depth: int
+
+    @property
+    def total_nodes(self) -> int:
+        """Crosspoints plus all tree-internal nodes."""
+        return self.crosspoints + self.row_tree_nodes + self.col_tree_nodes
+
+
+def _internal_nodes(leaves: int) -> int:
+    """Internal nodes of a balanced binary tree over *leaves* leaves."""
+    return max(0, leaves - 1)
+
+
+def mesh_of_trees_stats(rows: int, cols: int) -> MeshOfTreesStats:
+    """Counts for the mesh-of-trees over an ``rows x cols`` grid.
+
+    For the Ultrascalar II register network, ``rows = n + L`` (station
+    bindings plus register-file rows) and ``cols = 2n + L`` (two argument
+    columns per station plus the outgoing-register columns).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    crosspoints = rows * cols
+    row_tree_nodes = rows * _internal_nodes(cols)
+    col_tree_nodes = cols * _internal_nodes(rows)
+    depth = (
+        math.ceil(math.log2(cols)) if cols > 1 else 0
+    ) + (math.ceil(math.log2(rows)) if rows > 1 else 0)
+    return MeshOfTreesStats(
+        rows=rows,
+        cols=cols,
+        crosspoints=crosspoints,
+        row_tree_nodes=row_tree_nodes,
+        col_tree_nodes=col_tree_nodes,
+        depth=depth,
+    )
+
+
+def ultrascalar2_mesh_stats(n: int, num_registers: int) -> MeshOfTreesStats:
+    """Mesh-of-trees counts for an n-station, L-register Ultrascalar II."""
+    if n < 1 or num_registers < 1:
+        raise ValueError("n and L must be positive")
+    rows = n + num_registers
+    cols = 2 * n + num_registers
+    return mesh_of_trees_stats(rows, cols)

@@ -1,0 +1,545 @@
+"""The Ultrascalar ring processor (Ultrascalar I and the hybrid).
+
+A wrap-around ring of ``n`` execution stations.  Register values flow
+from each writer to younger readers through one CSPP circuit per
+logical register; the oldest station inserts the committed register
+file.  Three 1-bit CSPP conditions sequence instructions: oldest
+tracking / deallocation, load-after-store ordering, and
+store-after-everything ordering with branch commitment.
+
+The model is cycle-accurate with respect to the paper's timing rules:
+
+* arguments become visible to a consumer one cycle after the producer
+  finishes ("newly computed results propagate through the datapath" at
+  the end of each clock cycle, and "forward new results in one clock
+  cycle");
+* a mispredicted branch squashes all younger stations the cycle it
+  resolves, and fetch restarts on the following cycle ("Nothing needs
+  to be done to recover from misprediction except to fetch new
+  instructions from the correct program path");
+* a station is deallocated and refilled once it and every older
+  station have finished.
+
+With ``cluster_size = C > 1`` the ring refills C stations at a time —
+the hybrid's clusters acting as "super execution stations".  The
+scheduling policy is otherwise identical, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.cspp import cyclic_segmented_and
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.fetch import FetchUnit
+from repro.isa.interpreter import StepOutcome, alu_result, branch_taken
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.ultrascalar.memsys import MemorySystem
+from repro.ultrascalar.processor import ProcessorConfig, ProcessorResult, TimingRecord
+from repro.ultrascalar.station import Station, StationState
+from repro.util.bitops import to_unsigned
+
+
+@dataclass
+class _RegView:
+    """One station's incoming register view: value and ready per register.
+
+    ``writers[r]`` is the producing station, or ``None`` when the value
+    comes from the committed register file — used by the self-timed mode
+    to charge distance-dependent forwarding latency.
+    """
+
+    values: list[int]
+    ready: list[bool]
+    writers: list["Station | None"] | None = None
+
+
+class RingProcessor:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: ProcessorConfig,
+        predictor: BranchPredictor,
+        memory: MemorySystem,
+        cluster_size: int = 1,
+        initial_registers: list[int] | None = None,
+        fetch_unit: FetchUnit | None = None,
+    ):
+        if cluster_size < 1 or config.window_size % cluster_size:
+            raise ValueError("cluster_size must divide the window size")
+        self.program = program
+        self.config = config
+        self.predictor = predictor
+        self.memory = memory
+        self.cluster_size = cluster_size
+        self.n = config.window_size
+        self.L = program.spec.num_registers
+
+        self.stations = [Station(i) for i in range(self.n)]
+        self.oldest = 0  # ring position holding the oldest instruction
+        self.committed_regs = list(initial_registers or [0] * self.L)
+        if len(self.committed_regs) != self.L:
+            raise ValueError("initial register file has wrong size")
+
+        self.fetch = fetch_unit or FetchUnit(program, predictor, width=config.fetch_width)
+        self.cycle = 0
+        self.seq = 0
+        self.committed: list[StepOutcome] = []
+        self.timings: list[TimingRecord] = []
+        self.halted = False
+        self.squashed = 0
+        self.mispredictions = 0
+        self.forwarded_loads = 0
+        self._cancelled_requests: set[int] = set()
+        # self-timed bookkeeping: where and when each committed register
+        # value was physically produced (commitment does not teleport
+        # data; it still flows from the producing station's position)
+        self._reg_source_pos: list[int | None] = [None] * self.L
+        self._reg_source_cycle: list[int] = [0] * self.L
+
+    # ------------------------------------------------------------------
+    # ring helpers
+    # ------------------------------------------------------------------
+
+    def _ring_order(self) -> list[int]:
+        """Station positions from oldest to youngest slot."""
+        return [(self.oldest + k) % self.n for k in range(self.n)]
+
+    def _occupied_in_order(self) -> list[Station]:
+        """Occupied stations oldest-first (a contiguous prefix of the ring)."""
+        stations = []
+        for pos in self._ring_order():
+            station = self.stations[pos]
+            if not station.occupied:
+                break
+            stations.append(station)
+        return stations
+
+    # ------------------------------------------------------------------
+    # per-cycle phases
+    # ------------------------------------------------------------------
+
+    def _phase_fetch(self) -> None:
+        """Refill empty stations from the fetch unit.
+
+        Because clusters free as a unit (see :meth:`_phase_commit`), the
+        empty positions always form the contiguous tail of the ring
+        order, so filling them in order preserves ring contiguity.
+        """
+        order = self._ring_order()
+        occupied = len(self._occupied_in_order())
+        free_positions = order[occupied:]
+        budget = min(self.config.fetch_width, len(free_positions))
+        if budget == 0 or self.fetch.stalled():
+            return
+        fetched = self.fetch.fetch_cycle(budget=budget)
+        for fetched_inst, pos in zip(fetched, free_positions):
+            self.stations[pos].load(fetched_inst, self.seq, self.cycle)
+            self.seq += 1
+
+    def _register_views(self, occupied: list[Station]) -> list[_RegView]:
+        """Each occupied station's incoming register view (CSPP semantics).
+
+        Walk from the oldest: the committed register file is the oldest
+        station's insertion; each station then overlays its own write
+        (ready iff DONE).
+        """
+        track_writers = self.config.self_timed
+        values = list(self.committed_regs)
+        ready = [True] * self.L
+        writers: list[Station | None] = [None] * self.L
+        views: list[_RegView] = []
+        for station in occupied:
+            views.append(
+                _RegView(
+                    values=list(values),
+                    ready=list(ready),
+                    writers=list(writers) if track_writers else None,
+                )
+            )
+            reg = station.writes_register
+            if reg is not None:
+                if station.done and station.result is not None:
+                    values[reg] = station.result
+                    ready[reg] = True
+                else:
+                    values[reg] = 0
+                    ready[reg] = False
+                if track_writers:
+                    writers[reg] = station
+        return views
+
+    def _forward_latency(self, producer_pos: int, consumer_pos: int) -> int:
+        """Cycles for a result to travel producer -> consumer.
+
+        Global single-phase clock: always 1 ("all communications between
+        components being completed in one clock cycle").  Self-timed:
+        one cycle per H-tree level the signal must climb — neighbouring
+        stations communicate in a single cycle, far stations pay for the
+        longer wires (the paper's Section 7 pipelining discussion).
+        """
+        if not self.config.self_timed:
+            return 1
+        p, c = producer_pos, consumer_pos
+        level = 0
+        while p != c:
+            p //= 4
+            c //= 4
+            level += 1
+        return max(1, level)
+
+    def _source_ready(self, view: _RegView, reg: int, consumer: Station) -> bool:
+        """Is register *reg* usable by *consumer* this cycle?"""
+        if not view.ready[reg]:
+            return False
+        if view.writers is None:
+            return True
+        writer = view.writers[reg]
+        if writer is not None:
+            latency = self._forward_latency(writer.index, consumer.index)
+            return self.cycle >= writer.complete_cycle + latency
+        # committed value: still in flight from the station that produced
+        # it (initial register values have no producer and are ready)
+        source_pos = self._reg_source_pos[reg]
+        if source_pos is None:
+            return True
+        latency = self._forward_latency(source_pos, consumer.index)
+        return self.cycle >= self._reg_source_cycle[reg] + latency
+
+    def _ordering_conditions(
+        self, occupied: list[Station]
+    ) -> tuple[list[bool], list[bool], list[bool]]:
+        """The three Figure 5 CSPP conditions for each occupied station.
+
+        Returns (stores_done, mem_done, branches_resolved): per station,
+        whether all *older* stations have finished their stores / all
+        memory operations / resolved their control transfers.
+        """
+        count = len(occupied)
+        if count == 0:
+            return [], [], []
+        store_ok = []
+        mem_ok = []
+        branch_ok = []
+        for station in occupied:
+            inst = station.fetched.instruction
+            store_ok.append(not inst.is_store or station.done)
+            mem_ok.append(not inst.is_memory or station.done)
+            branch_ok.append(not inst.is_control or station.done)
+        # Cyclic segmented AND with the oldest station raising its segment
+        # bit: output[i] = AND of conditions of all older stations.  The
+        # circuit's wrap-around output at the oldest station itself is
+        # ignored, exactly as the oldest station "does not latch incoming
+        # values" in the register datapath: it has no older stations, so
+        # its conditions hold vacuously.
+        segments = [i == 0 for i in range(count)]
+        stores = cyclic_segmented_and(store_ok, segments)
+        mems = cyclic_segmented_and(mem_ok, segments)
+        branches = cyclic_segmented_and(branch_ok, segments)
+        stores[0] = mems[0] = branches[0] = True
+        return stores, mems, branches
+
+    def _alu_grants(self, occupied: list[Station], candidates: list[bool]) -> list[bool]:
+        """Shared-ALU arbitration (Memo 2): grant the oldest requesters.
+
+        Returns per-occupied-station permission to start executing on an
+        ALU this cycle.  With ``num_alus=None`` every candidate is
+        granted (one ALU per station, as the paper's layouts replicate).
+        """
+        from repro.isa.opcodes import OpClass
+        from repro.ultrascalar.scheduler import prioritized_grants
+
+        if self.config.num_alus is None:
+            return list(candidates)
+        busy = sum(
+            1
+            for s in occupied
+            if s.state is StationState.EXECUTING
+            and s.fetched.instruction.op.op_class is not OpClass.SYSTEM
+        )
+        free = max(0, self.config.num_alus - busy)
+        requests = [
+            candidates[i]
+            and occupied[i].fetched.instruction.op.op_class is not OpClass.SYSTEM
+            for i in range(len(occupied))
+        ]
+        if free == 0:
+            grants = [False] * len(occupied)
+        else:
+            grants = prioritized_grants(requests, oldest=0, num_alus=free)
+        # SYSTEM ops (NOP/HALT) need no ALU and always proceed
+        for i in range(len(occupied)):
+            if candidates[i] and not requests[i]:
+                grants[i] = True
+        return grants
+
+    def _find_forwarding_store(
+        self, occupied: list[Station], idx: int, address: int
+    ) -> Station | None:
+        """Nearest preceding store to *address* (memory renaming).
+
+        Only called when all preceding stores are DONE, so every earlier
+        store's address is known — the disambiguation the paper's CSPP
+        ordering circuits provide.
+        """
+        for earlier in reversed(occupied[:idx]):
+            inst = earlier.fetched.instruction
+            if inst.is_store and earlier.address == address:
+                return earlier
+        return None
+
+    def _phase_issue(self, occupied: list[Station], views: list[_RegView]) -> None:
+        stores_done, mem_done, branches_resolved = self._ordering_conditions(occupied)
+
+        # pass 1: who could issue this cycle?
+        ready_operands: dict[int, tuple[int, ...]] = {}
+        candidates = [False] * len(occupied)
+        for idx, station in enumerate(occupied):
+            if station.state is not StationState.WAITING:
+                continue
+            inst = station.fetched.instruction
+            view = views[idx]
+            operands = []
+            all_ready = True
+            for reg in (inst.rs1, inst.rs2):
+                if reg is None:
+                    continue
+                if not self._source_ready(view, reg, station):
+                    all_ready = False
+                    break
+                operands.append(view.values[reg])
+            if not all_ready:
+                continue
+            if inst.is_load and not stores_done[idx]:
+                continue
+            if inst.is_store and not (mem_done[idx] and branches_resolved[idx]):
+                continue
+            candidates[idx] = True
+            ready_operands[idx] = tuple(operands)
+
+        # pass 2: shared-ALU arbitration (memory ops use the memory
+        # network, not the ALU pool)
+        alu_ok = self._alu_grants(
+            occupied,
+            [
+                candidates[i] and not occupied[i].fetched.instruction.is_memory
+                for i in range(len(occupied))
+            ],
+        )
+
+        for idx, station in enumerate(occupied):
+            if not candidates[idx]:
+                continue
+            inst = station.fetched.instruction
+            if not inst.is_memory and not alu_ok[idx]:
+                continue  # no free ALU this cycle; retry next cycle
+            operands = ready_operands[idx]
+            station.operands = operands
+            station.issue_cycle = self.cycle
+            if inst.is_load:
+                station.address = to_unsigned(operands[0] + inst.imm)
+                forwarder = (
+                    self._find_forwarding_store(occupied, idx, station.address)
+                    if self.config.store_forwarding
+                    else None
+                )
+                if forwarder is not None:
+                    # memory renaming: take the store's data directly
+                    self.forwarded_loads += 1
+                    station.result = forwarder.operands[1]
+                    station.state = StationState.EXECUTING
+                    station.remaining = 1
+                else:
+                    station.memory_request_id = self.memory.submit_load(
+                        station.address, leaf=station.index
+                    )
+                    station.state = StationState.MEMORY
+            elif inst.is_store:
+                station.address = to_unsigned(operands[0] + inst.imm)
+                station.memory_request_id = self.memory.submit_store(
+                    station.address, operands[1], leaf=station.index
+                )
+                station.state = StationState.MEMORY
+            else:
+                station.state = StationState.EXECUTING
+                station.remaining = self.config.latencies.latency_of(inst.op)
+
+    def _phase_execute(self, occupied: list[Station]) -> None:
+        """Advance functional units; resolve branches; handle squashes."""
+        for idx, station in enumerate(occupied):
+            if station.state is not StationState.EXECUTING:
+                continue
+            station.remaining -= 1
+            if station.remaining > 0:
+                continue
+            inst = station.fetched.instruction
+            station.state = StationState.DONE
+            station.complete_cycle = self.cycle
+            op = inst.op
+            if inst.is_branch:
+                station.taken = branch_taken(op, station.operands[0], station.operands[1])
+                actual_next = inst.target if station.taken else station.fetched.static_index + 1
+                if station.taken != station.fetched.predicted_taken:
+                    self._mispredict(station, actual_next)
+                    return  # younger stations were squashed; stop this phase
+            elif op is Opcode.J:
+                station.taken = True
+            elif op in (Opcode.HALT, Opcode.NOP):
+                pass
+            elif inst.is_load:
+                pass  # store-forwarded load: result preset at issue
+            else:
+                station.result = alu_result(
+                    op,
+                    station.operands[0] if station.operands else 0,
+                    station.operands[1] if len(station.operands) > 1 else 0,
+                    inst.imm,
+                )
+
+    def _mispredict(self, station: Station, actual_next: int) -> None:
+        """Squash everything younger than *station* and redirect fetch."""
+        self.mispredictions += 1
+        order = self._ring_order()
+        past_branch = False
+        for pos in order:
+            current = self.stations[pos]
+            if past_branch and current.occupied:
+                if current.memory_request_id is not None and not current.done:
+                    self._cancelled_requests.add(current.memory_request_id)
+                current.clear()
+                self.squashed += 1
+            if current is station:
+                past_branch = True
+        # rewind the fetch sequence numbering to just after the branch
+        self.seq = station.seq + 1
+        self.fetch.redirect(actual_next)
+
+    def _phase_memory(self, occupied: list[Station]) -> None:
+        completions = self.memory.tick()
+        if not completions:
+            return
+        by_request = {
+            station.memory_request_id: station
+            for station in occupied
+            if station.state is StationState.MEMORY
+        }
+        for request_id, value in completions.items():
+            if request_id in self._cancelled_requests:
+                self._cancelled_requests.discard(request_id)
+                continue
+            station = by_request.get(request_id)
+            if station is None:
+                continue
+            station.state = StationState.DONE
+            station.complete_cycle = self.cycle
+            if station.fetched.instruction.is_load:
+                station.result = value
+
+    def _phase_commit(self) -> None:
+        """Commit finished oldest instructions; deallocate whole clusters.
+
+        Commitment (applying results to the architectural register file,
+        in program order) is per instruction; *deallocation* frees an
+        aligned cluster of ``cluster_size`` stations only once every
+        station in it has committed — the hybrid's "super execution
+        station" behaviour.  With ``cluster_size == 1`` this is exactly
+        the Ultrascalar I's per-station reuse.
+        """
+        for pos in self._ring_order():
+            station = self.stations[pos]
+            if not station.occupied:
+                break
+            if station.committed:
+                continue
+            if not station.done:
+                break
+            inst = station.fetched.instruction
+            reg = station.writes_register
+            if reg is not None and station.result is not None:
+                self.committed_regs[reg] = station.result
+                self._reg_source_pos[reg] = station.index
+                self._reg_source_cycle[reg] = station.complete_cycle
+            taken = station.taken
+            next_pc = station.fetched.static_index + 1
+            if inst.is_control and taken:
+                next_pc = inst.target
+            self.committed.append(
+                StepOutcome(
+                    static_index=station.fetched.static_index,
+                    instruction=inst,
+                    operand_values=station.operands,
+                    result=station.result,
+                    address=station.address,
+                    taken=taken,
+                    next_pc=next_pc,
+                )
+            )
+            self.timings.append(
+                TimingRecord(
+                    seq=station.seq,
+                    static_index=station.fetched.static_index,
+                    instruction=inst,
+                    fetch_cycle=station.fetch_cycle,
+                    issue_cycle=station.issue_cycle,
+                    complete_cycle=station.complete_cycle,
+                    commit_cycle=self.cycle,
+                )
+            )
+            if inst.is_branch:
+                self.predictor.update(station.fetched.static_index, bool(taken))
+            if inst.is_halt:
+                self.halted = True
+            station.committed = True
+
+        # Deallocate leading fully-committed clusters.  `oldest` is always
+        # cluster-aligned: the initial fill starts at position 0 and
+        # clusters free as aligned units.
+        while True:
+            members = [
+                self.stations[(self.oldest + k) % self.n]
+                for k in range(self.cluster_size)
+            ]
+            if not all(s.occupied and s.committed for s in members):
+                break
+            for s in members:
+                s.clear()
+            self.oldest = (self.oldest + self.cluster_size) % self.n
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the processor one clock cycle."""
+        self._phase_fetch()
+        occupied = self._occupied_in_order()
+        views = self._register_views(occupied)
+        self._phase_issue(occupied, views)
+        self._phase_execute(occupied)
+        self._phase_memory(self._occupied_in_order())
+        self._phase_commit()
+        self.cycle += 1
+
+    def _idle(self) -> bool:
+        return self.fetch.stalled() and not any(s.occupied for s in self.stations)
+
+    def run(self) -> ProcessorResult:
+        """Run to completion (HALT committed, or program exhausted)."""
+        while not self.halted and not self._idle():
+            if self.cycle >= self.config.max_cycles:
+                raise RuntimeError(f"exceeded max_cycles={self.config.max_cycles}")
+            self.step()
+        return ProcessorResult(
+            cycles=self.cycle,
+            committed=self.committed,
+            registers=list(self.committed_regs),
+            memory=self.memory.final_state(),
+            timings=self.timings,
+            halted=self.halted,
+            squashed=self.squashed,
+            mispredictions=self.mispredictions,
+            forwarded_loads=self.forwarded_loads,
+        )

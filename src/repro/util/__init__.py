@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG handling, bit operations, tables.
+
+Everything in the repository that needs randomness goes through
+:func:`repro.util.rng.make_rng` so that experiments and tests are
+reproducible from a single seed.
+"""
+
+from repro.util.bitops import (
+    WORD_BITS,
+    WORD_MASK,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import Table, format_float, format_ratio
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_MASK",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "make_rng",
+    "Table",
+    "format_float",
+    "format_ratio",
+]

@@ -1,0 +1,32 @@
+"""Fixed-width two's-complement arithmetic helpers.
+
+The reproduced instruction-set architecture is a 32-bit machine (the
+paper's empirical layouts use 32 32-bit logical registers).  All register
+values are stored as Python ints in ``[0, 2**32)`` and these helpers
+convert between the signed and unsigned views.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def to_unsigned(value: int, bits: int = WORD_BITS) -> int:
+    """Reduce *value* into the unsigned ``bits``-wide range ``[0, 2**bits)``."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value: int, bits: int = WORD_BITS) -> int:
+    """Interpret the low ``bits`` of *value* as a two's-complement integer."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int = WORD_BITS) -> int:
+    """Sign-extend *value* from ``from_bits`` wide to ``to_bits`` wide (unsigned view)."""
+    if from_bits > to_bits:
+        raise ValueError(f"cannot sign-extend from {from_bits} to narrower {to_bits} bits")
+    return to_unsigned(to_signed(value, from_bits), to_bits)

@@ -1,0 +1,185 @@
+"""The hybrid Ultrascalar floorplan (the paper's Figure 10 and Section 6).
+
+Clusters of C stations, each an Ultrascalar II grid, connected by the
+Ultrascalar I H-tree.  The side-length recurrence::
+
+    U(n) = O(n + L)                      if n <= C   (one cluster)
+    U(n) = O(L + M(n)) + 2 U(n/4)        if n > C
+
+has solution ``U(n) = Theta(M(n) + L sqrt(n)/sqrt(C) + sqrt(n C))`` for
+n >= C, minimized at C = Theta(L), giving the optimal
+``U(n) = Theta(M(n) + sqrt(n L))``.
+
+The paper's Magic layouts route incoming registers over the datapath on
+spare metal and pack ALUs in columns off the diagonal, shrinking the
+cluster below the schematic Figure 10 floorplan; the
+``cluster_packing`` factor models that (documented calibration, see
+EXPERIMENTS.md E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.vlsi.grid_layout import Ultrascalar2Layout
+from repro.vlsi.htree_layout import zero_bandwidth
+from repro.vlsi.tech import Technology, PAPER_TECH
+
+
+@dataclass(eq=False)
+class HybridLayout:
+    """Parametric hybrid layout.
+
+    Args:
+        n: total stations.
+        cluster_size: ``C`` stations per Ultrascalar II cluster.
+        num_registers: ``L``.
+        word_bits: ``w``.
+        bandwidth: memory-bandwidth function M (default zero, matching
+            the paper's register-datapath-only empirical layouts, which
+            "left space ... for a small datapath of size M(n) = O(1)").
+        cluster_packing: linear shrink factor for the Magic-layout
+            optimizations described in Section 7 (over-the-cell routing
+            of incoming registers, ALU columns off the diagonal).
+    """
+
+    n: int
+    cluster_size: int
+    num_registers: int = 32
+    word_bits: int = 32
+    bandwidth: Callable[[int], float] = zero_bandwidth
+    cluster_packing: float = 1.0
+    variant: str = "linear"
+    tech: Technology = PAPER_TECH
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.cluster_size < 1:
+            raise ValueError("n and cluster_size must be positive")
+        if self.n % self.cluster_size:
+            raise ValueError("cluster_size must divide n")
+        if not 0 < self.cluster_packing <= 1.0:
+            raise ValueError("cluster_packing must be in (0, 1]")
+        self.cluster = Ultrascalar2Layout(
+            n=self.cluster_size,
+            num_registers=self.num_registers,
+            word_bits=self.word_bits,
+            variant=self.variant,
+            tech=self.tech,
+        )
+        self._side_memo: dict[int, float] = {}
+
+    @property
+    def num_clusters(self) -> int:
+        """Clusters on the H-tree."""
+        return self.n // self.cluster_size
+
+    @property
+    def cluster_side(self) -> float:
+        """One cluster's side in tracks (packed Ultrascalar II grid)."""
+        return self.cluster.side_length() * self.cluster_packing
+
+    @property
+    def register_wires(self) -> int:
+        """Inter-cluster datapath wires: L x (w + 1), as in Ultrascalar I."""
+        return self.num_registers * (self.word_bits + 1)
+
+    def switch_block_side(self, stations: int) -> float:
+        """H-tree switch-block side at a subtree of *stations* stations."""
+        register_part = self.register_wires * self.tech.prefix_node_pitch
+        memory_part = (
+            self.bandwidth(stations) * self.word_bits * self.tech.memory_wire_pitch
+        )
+        return register_part + memory_part
+
+    def _rounded_clusters(self) -> int:
+        m = 1
+        while m < self.num_clusters:
+            m *= 4
+        return m
+
+    def side_length(self, clusters: int | None = None) -> float:
+        """U(n) in tracks: the Ultrascalar I recurrence over clusters."""
+        clusters = self._rounded_clusters() if clusters is None else clusters
+        if clusters <= 1:
+            return self.cluster_side
+        if clusters not in self._side_memo:
+            self._side_memo[clusters] = (
+                self.switch_block_side(clusters * self.cluster_size)
+                + 2 * self.side_length(clusters // 4)
+            )
+        return self._side_memo[clusters]
+
+    @property
+    def area(self) -> float:
+        """Area in tracks squared."""
+        return self.side_length() ** 2
+
+    def root_to_leaf_wire(self) -> float:
+        """Root-to-cluster wire, then across the cluster: Θ(U(n))."""
+        total = 0.0
+        m = self._rounded_clusters()
+        while m > 1:
+            total += self.side_length(m) / 2.0 + self.switch_block_side(
+                m * self.cluster_size
+            )
+            m //= 4
+        return total + self.cluster_side
+
+    @property
+    def critical_wire(self) -> float:
+        """Longest datapath signal: up the inter-cluster tree and down."""
+        return 2.0 * self.root_to_leaf_wire()
+
+    @property
+    def stations_per_m2(self) -> float:
+        """Density in stations per square metre."""
+        side_cm = self.tech.tracks_to_cm(self.side_length())
+        return self.n / (side_cm / 100.0) ** 2
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers in physical units."""
+        side_cm = self.tech.tracks_to_cm(self.side_length())
+        return {
+            "n": self.n,
+            "C": self.cluster_size,
+            "L": self.num_registers,
+            "clusters": self.num_clusters,
+            "side_cm": side_cm,
+            "area_cm2": side_cm**2,
+            "critical_wire_cm": self.tech.tracks_to_cm(self.critical_wire),
+            "stations_per_m2": self.stations_per_m2,
+        }
+
+
+def optimal_cluster_size(
+    n: int,
+    num_registers: int,
+    word_bits: int = 32,
+    bandwidth: Callable[[int], float] = zero_bandwidth,
+    tech: Technology = PAPER_TECH,
+) -> tuple[int, dict[int, float]]:
+    """Sweep C over the divisors-of-n powers of two; return (best C, U(C) map).
+
+    The paper: "one can differentiate and solve ... to conclude that the
+    side-length is minimized when C = Theta(L)".  This sweep is the
+    empirical check (experiment E5).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    sides: dict[int, float] = {}
+    c = 1
+    while c <= n:
+        if n % c == 0:
+            layout = HybridLayout(
+                n=n,
+                cluster_size=c,
+                num_registers=num_registers,
+                word_bits=word_bits,
+                bandwidth=bandwidth,
+                tech=tech,
+            )
+            sides[c] = layout.side_length()
+        c *= 2
+    best = min(sides, key=sides.get)
+    return best, sides

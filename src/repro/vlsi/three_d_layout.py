@@ -1,0 +1,173 @@
+"""Three-dimensional layout models (the paper's Section 7 discussion).
+
+"In a true three-dimensional packaging technology the Ultrascalar
+bounds do improve because, intuitively, there is more space in three
+dimensions than in two."
+
+The 3-D analogue of the H-tree is an 8-way recursive cube: each level
+splits the stations into octants, and the central switch block carries
+the L(w+1) register wires through a *face* rather than an edge — so the
+block's side contribution is Θ(√(L w)) instead of Θ(L w):
+
+    X3(n) = Θ(√L') + 2 X3(n/8),   L' = L (w+1) wires
+
+with solution X3(n) = Θ(n^(1/3) √L') — volume Θ(n L'^(3/2)) and wire
+delay Θ(n^(1/3) √L'), the paper's bounds.  The 3-D hybrid packs
+Ultrascalar II clusters into the octree; sweeping the cluster size
+reproduces the paper's optimal C = Θ(L^(3/4)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.vlsi.grid_layout import Ultrascalar2Layout
+from repro.vlsi.htree_layout import zero_bandwidth
+from repro.vlsi.tech import Technology, PAPER_TECH
+
+
+def _round_up_power(n: int, base: int) -> int:
+    m = 1
+    while m < n:
+        m *= base
+    return m
+
+
+@dataclass(eq=False)
+class ThreeDUltrascalar1Layout:
+    """3-D octree layout of the Ultrascalar I."""
+
+    n: int
+    num_registers: int = 32
+    word_bits: int = 32
+    bandwidth: Callable[[int], float] = zero_bandwidth
+    tech: Technology = PAPER_TECH
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be positive")
+        self._memo: dict[int, float] = {}
+
+    @property
+    def register_wires(self) -> int:
+        """Datapath wires per link: L x (w + 1)."""
+        return self.num_registers * (self.word_bits + 1)
+
+    def _station_side(self) -> float:
+        # station content packs in 3-D; wires land on a face
+        wire_face = math.sqrt(self.register_wires) * self.tech.prefix_node_pitch
+        content = (self.register_wires * 20.0) ** (1.0 / 3.0)
+        return max(wire_face, content)
+
+    def switch_block_side(self, subtree: int) -> float:
+        """Side of the central block: register wires + memory wires
+        crossing a face, Θ(√wires) each."""
+        register_part = math.sqrt(self.register_wires) * self.tech.prefix_node_pitch
+        memory_wires = self.bandwidth(subtree) * self.word_bits
+        memory_part = math.sqrt(memory_wires) * self.tech.memory_wire_pitch
+        return register_part + memory_part
+
+    def side_length(self, n: int | None = None) -> float:
+        """X3(n): the 8-way recurrence, solved numerically."""
+        n = _round_up_power(self.n, 8) if n is None else n
+        if n <= 1:
+            return self._station_side()
+        if n not in self._memo:
+            self._memo[n] = self.switch_block_side(n) + 2 * self.side_length(n // 8)
+        return self._memo[n]
+
+    @property
+    def volume(self) -> float:
+        """Chip volume in tracks cubed: X3(n)^3."""
+        return self.side_length() ** 3
+
+    @property
+    def critical_wire(self) -> float:
+        """Root-to-leaf and back: Θ(X3(n)) as in two dimensions."""
+        total = 0.0
+        m = _round_up_power(self.n, 8)
+        while m > 1:
+            total += self.side_length(m) / 2.0 + self.switch_block_side(m)
+            m //= 8
+        return 2.0 * total
+
+
+@dataclass(eq=False)
+class ThreeDHybridLayout:
+    """3-D hybrid: Ultrascalar II clusters on the octree."""
+
+    n: int
+    cluster_size: int
+    num_registers: int = 32
+    word_bits: int = 32
+    bandwidth: Callable[[int], float] = zero_bandwidth
+    tech: Technology = PAPER_TECH
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.cluster_size < 1:
+            raise ValueError("n and cluster_size must be positive")
+        if self.n % self.cluster_size:
+            raise ValueError("cluster_size must divide n")
+        self._memo: dict[int, float] = {}
+        # an Ultrascalar II cluster is planar logic; in 3-D it folds into
+        # a cube of equal volume
+        planar = Ultrascalar2Layout(
+            self.cluster_size, self.num_registers, self.word_bits, tech=self.tech
+        )
+        self.cluster_side = planar.side_length() ** (2.0 / 3.0)
+
+    @property
+    def register_wires(self) -> int:
+        """Inter-cluster wires: L x (w + 1)."""
+        return self.num_registers * (self.word_bits + 1)
+
+    def switch_block_side(self, stations: int) -> float:
+        """Central block side: wires cross a face, Θ(√wires)."""
+        register_part = math.sqrt(self.register_wires) * self.tech.prefix_node_pitch
+        memory_wires = self.bandwidth(stations) * self.word_bits
+        memory_part = math.sqrt(memory_wires) * self.tech.memory_wire_pitch
+        return register_part + memory_part
+
+    def side_length(self, clusters: int | None = None) -> float:
+        """U3 over the octree of clusters.
+
+        Evaluated in closed form with fractional levels,
+        ``U3 = B (2^levels - 1) + 2^levels * cluster_side`` where
+        ``levels = log8(m)`` — the exact geometric-sum solution of the
+        recurrence, smooth in C so cluster sweeps have no octree
+        rounding sawtooth.
+        """
+        m = (self.n / self.cluster_size) if clusters is None else clusters
+        if m <= 1:
+            return self.cluster_side
+        levels = math.log(m, 8)
+        scale = 2.0**levels  # = m^(1/3)
+        block = self.switch_block_side(self.n)
+        return block * (scale - 1.0) + scale * self.cluster_side
+
+    @property
+    def volume(self) -> float:
+        """Chip volume in tracks cubed."""
+        return self.side_length() ** 3
+
+
+def optimal_cluster_size_3d(
+    n: int,
+    num_registers: int,
+    word_bits: int = 32,
+    tech: Technology = PAPER_TECH,
+) -> tuple[int, dict[int, float]]:
+    """Sweep power-of-two C; the paper predicts the optimum at Θ(L^(3/4))."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    sides: dict[int, float] = {}
+    c = 1
+    while c <= n:
+        if n % c == 0:
+            layout = ThreeDHybridLayout(n, c, num_registers, word_bits, tech=tech)
+            sides[c] = layout.side_length()
+        c *= 2
+    best = min(sides, key=sides.get)
+    return best, sides

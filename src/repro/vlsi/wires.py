@@ -1,0 +1,25 @@
+"""Wire delay: linear in length with repeaters.
+
+"Wire delay can be made linear in wire length by inserting repeater
+buffers at appropriate intervals [Dally & Poulton].  Thus we use the
+terms wire delay and wire length interchangeably here."
+"""
+
+from __future__ import annotations
+
+from repro.vlsi.tech import Technology, PAPER_TECH
+
+
+def wire_delay(length_tracks: float, tech: Technology = PAPER_TECH) -> float:
+    """Delay of a repeatered wire of *length_tracks*, in gate-delay units."""
+    if length_tracks < 0:
+        raise ValueError("length must be non-negative")
+    return length_tracks * tech.wire_delay_per_track
+
+
+def total_delay(gate_delays: float, wire_length_tracks: float,
+                tech: Technology = PAPER_TECH) -> float:
+    """Gate delay plus wire delay — the paper's "Total Delay" row."""
+    if gate_delays < 0:
+        raise ValueError("gate delay must be non-negative")
+    return gate_delays + wire_delay(wire_length_tracks, tech)

@@ -1,0 +1,75 @@
+"""Integration: programs survive the binary encoding round trip, and a
+processor running from decoded instruction memory behaves identically."""
+
+import pytest
+
+from repro.frontend.imem import InstructionMemory
+from repro.isa import Program
+from repro.isa.encoding import EncodingError
+from repro.isa.registers import MachineSpec
+from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
+from repro.workloads import (
+    bubble_sort,
+    daxpy_loop,
+    fibonacci,
+    paper_sequence,
+    random_ilp,
+    reduction_loop,
+)
+
+WORKLOADS = [
+    paper_sequence(),
+    daxpy_loop(4),
+    reduction_loop(5),
+    fibonacci(10),
+    bubble_sort([4, 1, 3]),
+    random_ilp(30, 0.5, seed=501),
+]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+class TestRoundTrip:
+    def test_every_workload_encodes_and_decodes(self, workload):
+        imem = InstructionMemory.from_program(workload.program)
+        assert imem.verify_against(workload.program)
+
+    def test_decoded_program_runs_identically(self, workload):
+        imem = InstructionMemory.from_program(workload.program)
+        decoded = Program(
+            tuple(imem.fetch_decode(pc) for pc in range(len(imem))),
+            {},
+            workload.program.spec,
+        )
+        config = ProcessorConfig(window_size=16, fetch_width=4)
+
+        def run(program):
+            memory = IdealMemory()
+            memory.load_image(workload.memory_image)
+            return make_ultrascalar1(
+                program, config, memory=memory,
+                initial_registers=workload.registers_for(),
+            ).run()
+
+        original = run(workload.program)
+        redecoded = run(decoded)
+        assert redecoded.cycles == original.cycles
+        assert redecoded.registers == original.registers
+        assert redecoded.memory == original.memory
+
+
+class TestLimits:
+    def test_large_register_files_rejected(self):
+        from repro.isa import Instruction, Opcode
+
+        spec = MachineSpec(num_registers=64)
+        program = Program.from_instructions(
+            [Instruction(Opcode.ADD, rd=63, rs1=0, rs2=0), Instruction(Opcode.HALT)],
+            spec,
+        )
+        with pytest.raises(EncodingError):
+            InstructionMemory.from_program(program)
+
+    def test_raw_words_accessible(self):
+        imem = InstructionMemory.from_program(paper_sequence().program)
+        assert all(0 <= w < (1 << 32) for w in imem.words)
+        assert len(imem) == 9

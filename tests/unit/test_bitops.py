@@ -1,0 +1,59 @@
+"""Unit tests for fixed-width two's-complement helpers."""
+
+import pytest
+
+from repro.util.bitops import WORD_MASK, sign_extend, to_signed, to_unsigned
+
+
+class TestToUnsigned:
+    def test_identity_for_small_positive(self):
+        assert to_unsigned(42) == 42
+
+    def test_wraps_negative(self):
+        assert to_unsigned(-1) == WORD_MASK
+
+    def test_wraps_overflow(self):
+        assert to_unsigned(1 << 32) == 0
+        assert to_unsigned((1 << 32) + 5) == 5
+
+    def test_custom_width(self):
+        assert to_unsigned(-1, bits=8) == 255
+        assert to_unsigned(256, bits=8) == 0
+
+
+class TestToSigned:
+    def test_positive_below_midpoint(self):
+        assert to_signed(5) == 5
+        assert to_signed((1 << 31) - 1) == (1 << 31) - 1
+
+    def test_negative_above_midpoint(self):
+        assert to_signed(WORD_MASK) == -1
+        assert to_signed(1 << 31) == -(1 << 31)
+
+    def test_custom_width(self):
+        assert to_signed(0x80, bits=8) == -128
+        assert to_signed(0x7F, bits=8) == 127
+
+    def test_masks_out_high_bits_first(self):
+        assert to_signed((1 << 40) | 3) == 3
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(0x7FFF, 16) == 0x7FFF
+
+    def test_negative_extends(self):
+        assert sign_extend(0x8000, 16) == 0xFFFF8000
+
+    def test_roundtrip_with_to_signed(self):
+        assert to_signed(sign_extend(0xFFFF, 16)) == -1
+
+    def test_rejects_narrowing(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 32, 16)
+
+
+class TestInverses:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2**31 - 1, -(2**31), 123456789, -987654321])
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value

@@ -1,0 +1,102 @@
+"""Unit tests for the CLI entry point and the result/timing helpers."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.isa import Instruction, Opcode
+from repro.isa.registers import MachineSpec
+from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
+from repro.workloads import paper_sequence
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "E10" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Experiments:" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["fig12"]) == 0
+        assert "density ratio" in capsys.readouterr().out
+
+    def test_registry_is_complete(self):
+        assert len(EXPERIMENTS) >= 12
+        for title, report in EXPERIMENTS.values():
+            assert callable(report)
+
+
+class TestTimingDiagram:
+    def run_paper(self):
+        w = paper_sequence()
+        config = ProcessorConfig(window_size=9, fetch_width=9)
+        return make_ultrascalar1(
+            w.program, config, memory=IdealMemory(), initial_registers=w.registers_for()
+        ).run()
+
+    def test_diagram_has_one_row_per_instruction(self):
+        result = self.run_paper()
+        lines = result.timing_diagram().splitlines()
+        assert len(lines) == len(result.timings) + 1  # plus the axis
+
+    def test_diagram_bars_align_with_issue_cycles(self):
+        result = self.run_paper()
+        lines = result.timing_diagram().splitlines()
+        div_line = next(l for l in lines if l.startswith("div"))
+        bar = div_line.split("|")[1]
+        assert bar.startswith("#")       # issues at cycle 0
+        assert bar.count("#") == 10      # ten cycles of divide
+
+    def test_empty_result_diagram(self):
+        from repro.ultrascalar.processor import ProcessorResult
+
+        empty = ProcessorResult(
+            cycles=0, committed=[], registers=[], memory={}, timings=[], halted=False
+        )
+        assert "(no instructions)" in empty.timing_diagram()
+
+    def test_execute_span(self):
+        result = self.run_paper()
+        spans = [t.execute_span for t in result.timings]
+        for (start, end), t in zip(spans, result.timings):
+            assert start == t.issue_cycle
+            assert end == t.complete_cycle + 1
+
+
+class TestSpecValidation:
+    def test_machine_spec_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            MachineSpec(num_registers=0)
+        with pytest.raises(ValueError):
+            MachineSpec(word_bits=0)
+
+    def test_machine_spec_properties(self):
+        spec = MachineSpec(num_registers=16, word_bits=8)
+        assert spec.L == 16
+        assert spec.register_datapath_bits == 9
+        with pytest.raises(ValueError):
+            spec.validate_register(16)
+
+    def test_program_rejects_bad_register(self):
+        from repro.isa import Program
+
+        with pytest.raises(ValueError, match="out of range"):
+            Program.from_instructions(
+                [Instruction(Opcode.ADD, rd=50, rs1=0, rs2=0)],
+                MachineSpec(num_registers=32),
+            )
+
+    def test_program_rejects_bad_target(self):
+        from repro.isa import Program
+
+        with pytest.raises(ValueError, match="target"):
+            Program.from_instructions(
+                [Instruction(Opcode.J, target=99), Instruction(Opcode.HALT)]
+            )

@@ -1,0 +1,62 @@
+"""Unit tests for the Figure 2 modified-bit decode logic."""
+
+import math
+
+import pytest
+
+from repro.circuits.decode import build_modified_bit_decoder, evaluate_decoder
+from repro.circuits.netlist import Netlist
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("L", [1, 2, 5, 8, 32])
+    def test_one_hot_for_every_register(self, L):
+        nl = Netlist()
+        ports = build_modified_bit_decoder(nl, L)
+        for rd in range(L):
+            bits = evaluate_decoder(nl, ports, rd, write_enable=True)
+            assert bits == [r == rd for r in range(L)]
+
+    def test_enable_gates_everything(self):
+        nl = Netlist()
+        ports = build_modified_bit_decoder(nl, 8)
+        assert evaluate_decoder(nl, ports, 3, write_enable=False) == [False] * 8
+
+    def test_depth_is_loglog(self):
+        nl = Netlist()
+        build_modified_bit_decoder(nl, 32)
+        # NOT/BUF (1) + AND tree over 5 bits (3) + enable AND (1) = 5
+        assert nl.topological_depth() <= 2 + math.ceil(math.log2(5)) + 1
+
+    def test_gate_count_linear_in_L(self):
+        counts = []
+        for L in (8, 16, 32):
+            nl = Netlist()
+            build_modified_bit_decoder(nl, L)
+            counts.append(nl.gate_count)
+        assert counts[2] / counts[1] == pytest.approx(counts[1] / counts[0], rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_modified_bit_decoder(Netlist(), 0)
+
+
+class TestSchedulerCircuitDepth:
+    """The Memo-2 scheduler's settle time stays polylogarithmic."""
+
+    def test_settle_time_growth(self):
+        from repro.ultrascalar.scheduler import SchedulerCircuit
+
+        times = []
+        for n in (4, 8, 16, 32):
+            circuit = SchedulerCircuit(n, max(1, n // 4))
+            result = circuit.netlist.simulate(
+                {**{net: True for net in circuit.requests},
+                 **{net: i == 0 for i, net in enumerate(circuit.segments)}}
+            )
+            times.append(result.settle_time)
+        # doubling n adds a bounded number of gate delays (log n levels
+        # of log n-bit ripple adders: O(log^2 n) total, far below linear)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d <= 12 for d in diffs), times
+        assert times[-1] < 32 * 2  # decisively sublinear vs a ring scan

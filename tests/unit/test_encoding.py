@@ -1,0 +1,81 @@
+"""Unit tests for the 32-bit binary encoding."""
+
+import pytest
+
+from repro.isa import EncodingError, Instruction, Opcode, decode_instruction, encode_instruction
+from repro.isa.opcodes import Format
+
+
+def _representatives() -> list[Instruction]:
+    insts = []
+    for op in Opcode:
+        fmt = op.fmt
+        if fmt is Format.R3:
+            insts.append(Instruction(op, rd=31, rs1=0, rs2=17))
+        elif fmt is Format.R2:
+            insts.append(Instruction(op, rd=1, rs1=30))
+        elif fmt is Format.I2:
+            insts.append(Instruction(op, rd=2, rs1=3, imm=-32768))
+            insts.append(Instruction(op, rd=2, rs1=3, imm=32767))
+        elif fmt is Format.I1:
+            insts.append(Instruction(op, rd=4, imm=-1))
+        elif fmt is Format.MEM:
+            if op is Opcode.LW:
+                insts.append(Instruction(op, rd=5, rs1=6, imm=100))
+            else:
+                insts.append(Instruction(op, rs2=5, rs1=6, imm=-100))
+        elif fmt is Format.B2:
+            insts.append(Instruction(op, rs1=7, rs2=8, target=65535))
+        elif fmt is Format.J:
+            insts.append(Instruction(op, target=(1 << 26) - 1))
+        else:
+            insts.append(Instruction(op))
+    return insts
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("inst", _representatives(), ids=str)
+    def test_encode_decode_identity(self, inst):
+        word = encode_instruction(inst)
+        assert 0 <= word < (1 << 32)
+        assert decode_instruction(word) == inst
+
+
+class TestLimits:
+    def test_register_too_large(self):
+        with pytest.raises(EncodingError, match="r33"):
+            encode_instruction(Instruction(Opcode.ADD, rd=33, rs1=0, rs2=0))
+
+    def test_immediate_too_large(self):
+        with pytest.raises(EncodingError, match="immediate"):
+            encode_instruction(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=40000))
+
+    def test_immediate_too_negative(self):
+        with pytest.raises(EncodingError, match="immediate"):
+            encode_instruction(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-40000))
+
+    def test_branch_target_too_large(self):
+        with pytest.raises(EncodingError, match="target"):
+            encode_instruction(Instruction(Opcode.BEQ, rs1=0, rs2=0, target=1 << 16))
+
+    def test_jump_target_fits_26_bits(self):
+        word = encode_instruction(Instruction(Opcode.J, target=(1 << 26) - 1))
+        assert decode_instruction(word).target == (1 << 26) - 1
+
+
+class TestDecodeErrors:
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(EncodingError, match="unknown opcode"):
+            decode_instruction(63 << 26)
+
+    def test_rejects_out_of_range_word(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(1 << 32)
+        with pytest.raises(EncodingError):
+            decode_instruction(-1)
+
+
+class TestDistinctness:
+    def test_different_instructions_encode_differently(self):
+        words = {encode_instruction(inst) for inst in _representatives()}
+        assert len(words) == len(_representatives())

@@ -1,0 +1,131 @@
+"""Unit tests for the experiment drivers (structure and invariants;
+the quantitative assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    cluster_sweep,
+    crossover,
+    fig3_timing,
+    fig11_table,
+    fig12_layout,
+    gate_depth,
+    ipc_equivalence,
+    memory_bw,
+    selftimed,
+    three_d,
+)
+
+
+class TestFig3:
+    def test_run_matches_everything(self):
+        outcome = fig3_timing.run()
+        assert outcome.matches_paper
+        assert outcome.matches_dataflow
+        assert len(outcome.ultrascalar_spans) == 8
+
+    def test_report_contains_table_and_diagram(self):
+        text = fig3_timing.report()
+        assert "div r3, r1, r2" in text
+        assert "#" in text  # diagram bars
+        assert "matches paper: True" in text
+
+    def test_paper_spans_constant(self):
+        assert fig3_timing.PAPER_FIGURE3_SPANS[0] == (0, 10)
+        assert len(fig3_timing.PAPER_FIGURE3_SPANS) == 8
+
+
+class TestFig11:
+    def test_validation_exponents(self):
+        v = fig11_table.validate(sizes=[4**k for k in range(3, 8)])
+        assert 0.4 < v.us1_exponent < 0.6
+        assert 0.85 < v.us2_exponent < 1.1
+        assert 0.4 < v.hybrid_exponent < 0.65
+
+    def test_report_renders_all_regimes(self):
+        text = fig11_table.report()
+        assert text.count("Figure 11") >= 3
+
+    def test_example_values_table(self):
+        table = fig11_table.example_values(n=64, L=8)
+        assert len(table.rows) == 12  # 3 regimes x 4 processors
+
+
+class TestFig12:
+    def test_ratio_matches(self):
+        outcome = fig12_layout.run()
+        assert outcome.ratio_matches_paper
+
+    def test_report_shows_both_layouts(self):
+        text = fig12_layout.report()
+        assert "US-I 64-wide" in text
+        assert "Hybrid 128-wide" in text
+
+
+class TestCrossover:
+    def test_structure(self):
+        outcome = crossover.run(L_values=[8, 16], n_values=[16, 256, 4096], big_n=16384)
+        assert set(outcome.crossovers) == {8, 16}
+        assert outcome.crossover_tracks_L_squared()
+
+    def test_report(self):
+        assert "crossover" in crossover.report().lower()
+
+
+class TestClusterSweep:
+    def test_structure(self):
+        outcome = cluster_sweep.run(n=1024, L_values=[8, 32])
+        assert outcome.optimum_tracks_L()
+        assert set(outcome.best) == {8, 32}
+
+    def test_report_marks_minimum(self):
+        assert "*" in cluster_sweep.report(n=1024)
+
+
+class TestMemoryBw:
+    def test_exponents(self):
+        outcome = memory_bw.run(exponents=[0.0, 1.0])
+        assert outcome.exponents_match_paper()
+        assert outcome.wire_tracks_side()
+
+    def test_report(self):
+        assert "case1" in memory_bw.report()
+
+
+class TestThreeD:
+    def test_improvement_grows(self):
+        assert three_d.run().improvement_grows_with_L()
+
+    def test_report(self):
+        assert "Θ(n L^(3/2))" in three_d.report()
+
+
+class TestSelfTimed:
+    def test_locality(self):
+        outcome = selftimed.run(sizes=[16, 64])
+        assert outcome.at_least_half_local()
+
+    def test_report(self):
+        assert "%" in selftimed.report()
+
+
+class TestGateDepth:
+    def test_small_sweep(self):
+        outcome = gate_depth.run(sizes=[4, 8, 16])
+        assert outcome.ring_times == [4, 8, 16]
+        assert outcome.cspp_exponent < 0.7
+
+    def test_report(self):
+        assert "fitted exponents" in gate_depth.report(sizes=[4, 8])
+
+
+class TestIpcEquivalence:
+    def test_full_run(self):
+        outcome = ipc_equivalence.run()
+        assert outcome.us1_always_matches()
+        assert outcome.us2_never_faster()
+
+    def test_report(self):
+        text = ipc_equivalence.report()
+        assert "Dataflow" in text
+        assert "Conventional" in text

@@ -1,0 +1,183 @@
+"""Unit tests for the netlist framework and event-driven simulator."""
+
+import pytest
+
+from repro.circuits.netlist import GateKind, Netlist, bus, bus_value
+
+
+class TestConstruction:
+    def test_add_input_and_gate(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        out = nl.add_gate(GateKind.AND, a, b)
+        assert out.driver is not None
+        assert nl.gate_count == 1
+        assert a.fanout == [out.driver]
+
+    def test_arity_enforced(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_gate(GateKind.NOT, a, a)
+        with pytest.raises(ValueError):
+            nl.add_gate(GateKind.MUX, a, a)
+
+    def test_constants_are_cached(self):
+        nl = Netlist()
+        assert nl.constant(True) is nl.constant(True)
+        assert nl.constant(True) is not nl.constant(False)
+
+    def test_reduce_tree_depth_is_logarithmic(self):
+        nl = Netlist()
+        nets = [nl.add_input(f"i{k}") for k in range(64)]
+        nl.reduce_tree(GateKind.AND, nets)
+        assert nl.topological_depth() == 6
+
+    def test_reduce_tree_rejects_empty(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.reduce_tree(GateKind.AND, [])
+
+
+class TestGateSemantics:
+    @pytest.mark.parametrize(
+        "kind,inputs,expected",
+        [
+            (GateKind.AND, (1, 1), 1),
+            (GateKind.AND, (1, 0), 0),
+            (GateKind.OR, (0, 0), 0),
+            (GateKind.OR, (0, 1), 1),
+            (GateKind.XOR, (1, 1), 0),
+            (GateKind.XOR, (1, 0), 1),
+            (GateKind.XNOR, (1, 1), 1),
+            (GateKind.NAND, (1, 1), 0),
+            (GateKind.NOR, (0, 0), 1),
+        ],
+    )
+    def test_two_input_gates(self, kind, inputs, expected):
+        nl = Netlist()
+        a, b = nl.add_input("a"), nl.add_input("b")
+        out = nl.add_gate(kind, a, b)
+        result = nl.simulate({a: bool(inputs[0]), b: bool(inputs[1])})
+        assert result.value_of(out) == bool(expected)
+
+    def test_not_and_buf(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        inv = nl.add_gate(GateKind.NOT, a)
+        buf = nl.add_gate(GateKind.BUF, a)
+        result = nl.simulate({a: True})
+        assert result.value_of(inv) is False
+        assert result.value_of(buf) is True
+
+    @pytest.mark.parametrize("sel,a,b,expected", [(1, 1, 0, 1), (0, 1, 0, 0), (1, 0, 1, 0), (0, 0, 1, 1)])
+    def test_mux(self, sel, a, b, expected):
+        nl = Netlist()
+        s, x, y = nl.add_input("s"), nl.add_input("x"), nl.add_input("y")
+        out = nl.mux(s, x, y)
+        result = nl.simulate({s: bool(sel), x: bool(a), y: bool(b)})
+        assert result.value_of(out) == bool(expected)
+
+    def test_wide_and(self):
+        nl = Netlist()
+        ins = [nl.add_input(f"i{k}") for k in range(5)]
+        out = nl.add_gate(GateKind.AND, *ins)
+        assert nl.simulate({net: True for net in ins}).value_of(out) is True
+        assignment = {net: True for net in ins}
+        assignment[ins[3]] = False
+        assert nl.simulate(assignment).value_of(out) is False
+
+
+class TestTiming:
+    def test_chain_settle_time_is_linear(self):
+        nl = Netlist()
+        net = nl.add_input("a")
+        for _ in range(10):
+            net = nl.add_gate(GateKind.BUF, net)
+        result = nl.simulate({nl.inputs[0]: True})
+        assert result.settle_time == 10
+
+    def test_tree_settle_time_is_logarithmic(self):
+        nl = Netlist()
+        nets = [nl.add_input(f"i{k}") for k in range(32)]
+        nl.reduce_tree(GateKind.OR, nets)
+        result = nl.simulate({nets[5]: True})
+        assert result.settle_time == 5
+
+    def test_custom_gate_delay(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate(GateKind.BUF, a, delay=7)
+        result = nl.simulate({a: True})
+        assert result.settle_time == 7
+
+    def test_no_toggles_settles_at_zero(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate(GateKind.BUF, a)
+        assert nl.simulate({a: False}).settle_time == 0
+
+    def test_oscillator_detected(self):
+        nl = Netlist()
+        a = nl.add_input("enable")
+        # ring oscillator: out = NOT(AND(enable, out))
+        feedback = nl.add_input("fb_placeholder")
+        inner = nl.add_gate(GateKind.AND, a, feedback)
+        out = nl.add_gate(GateKind.NOT, inner)
+        # close the loop manually
+        gate = inner.driver
+        gate.inputs = (a, out)
+        out.fanout.append(gate)
+        feedback.fanout.clear()
+        nl.inputs.remove(feedback)
+        with pytest.raises(RuntimeError, match="did not settle"):
+            nl.simulate({a: True}, max_time=100)
+
+
+class TestTopology:
+    def test_acyclic_depth(self):
+        nl = Netlist()
+        a, b = nl.add_input("a"), nl.add_input("b")
+        x = nl.add_gate(GateKind.AND, a, b)
+        y = nl.add_gate(GateKind.OR, x, b)
+        nl.add_gate(GateKind.NOT, y)
+        assert nl.topological_depth() == 3
+        assert not nl.is_cyclic()
+
+    def test_cyclic_detection(self):
+        from repro.circuits.mux_ring import MuxRing
+
+        ring = MuxRing(4, 1)
+        assert ring.netlist.is_cyclic()
+        with pytest.raises(ValueError, match="cyclic"):
+            ring.netlist.topological_depth()
+
+    def test_simulate_rejects_driving_internal_net(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        out = nl.add_gate(GateKind.BUF, a)
+        with pytest.raises(ValueError, match="not a primary input"):
+            nl.simulate({out: True})
+
+
+class TestBusHelpers:
+    def test_bus_and_bus_value(self):
+        nl = Netlist()
+        nets = bus(nl, "data", 8)
+        outs = [nl.add_gate(GateKind.BUF, net) for net in nets]
+        result = nl.simulate({nets[i]: bool((0xA5 >> i) & 1) for i in range(8)})
+        assert bus_value(result, outs) == 0xA5
+
+    def test_simulate_words(self):
+        nl = Netlist()
+        nets = bus(nl, "data", 4)
+        outs = [nl.add_gate(GateKind.NOT, net) for net in nets]
+        result = nl.simulate_words({"data": 0b0101})
+        assert bus_value(result, outs) == 0b1010
+
+    def test_simulate_words_unknown_bus(self):
+        nl = Netlist()
+        bus(nl, "data", 2)
+        with pytest.raises(KeyError):
+            nl.simulate_words({"nope": 1})

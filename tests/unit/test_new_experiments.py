@@ -1,0 +1,107 @@
+"""Unit tests for the later experiment drivers (E12-E16)."""
+
+import pytest
+
+from repro.experiments import (
+    dominance_map,
+    ilp_limits,
+    one_cm_chip,
+    performance_projection,
+    window_vs_issue,
+)
+
+
+class TestWindowVsIssue:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return window_vs_issue.run(windows=[4, 16], alu_pools=[1, 4])
+
+    def test_monotone_both_axes(self, outcome):
+        assert outcome.monotone_in_window()
+        assert outcome.monotone_in_alus()
+
+    def test_one_alu_pins_ipc(self, outcome):
+        assert outcome.ipc_at(16, 1) <= 1.05
+
+    def test_report_renders(self):
+        assert "window" in window_vs_issue.report()
+
+
+class TestDominanceMap:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return dominance_map.run(n_values=[16, 256, 4096], L_values=[8, 64])
+
+    def test_incomparability(self, outcome):
+        assert outcome.us1_wins_somewhere()
+        assert outcome.us2_wins_somewhere()
+
+    def test_monotone_boundary(self, outcome):
+        assert outcome.pairwise_boundary_is_monotone()
+
+    def test_full_coverage(self, outcome):
+        assert len(outcome.winner_pairwise) == 6
+        assert set(outcome.winner_overall.values()) <= {"US1", "US2", "HYB"}
+
+    def test_report_shows_both_maps(self):
+        text = dominance_map.report()
+        assert "incomparability" in text
+        assert "Overall winner" in text
+
+
+class TestPerformanceProjection:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return performance_projection.run(windows=[16, 256])
+
+    def test_conventional_collapses(self, outcome):
+        perf = [row.conventional_performance for row in outcome.rows]
+        assert perf[-1] < perf[0]
+
+    def test_rows_carry_all_designs(self, outcome):
+        for row in outcome.rows:
+            assert row.us1.clock.processor == "ultrascalar1"
+            assert row.hybrid.clock.processor == "hybrid"
+            assert row.ipc > 0
+
+    def test_report_renders(self):
+        assert "IPC" in performance_projection.report()
+
+
+class TestIlpLimits:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return ilp_limits.run(densities=[0.2, 0.8], windows=[8, 64, 512], instructions=1500)
+
+    def test_curves_monotone(self, outcome):
+        assert all(curve.monotone() for curve in outcome.curves)
+
+    def test_density_ordering(self, outcome):
+        assert outcome.looser_code_has_more_ilp()
+
+    def test_gain_beyond_uses_nearest_window(self, outcome):
+        curve = outcome.curves[0]
+        assert curve.gain_beyond(100) == pytest.approx(
+            curve.saturation_ipc / curve.ipc[curve.windows.index(512)]
+        )
+
+    def test_report_renders(self):
+        assert "IPC vs window" in ilp_limits.report()
+
+
+class TestOneCmChip:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return one_cm_chip.run()
+
+    def test_fits(self, outcome):
+        assert outcome.fits_one_cm
+
+    def test_shrink_factor(self):
+        assert one_cm_chip.SHRINK == pytest.approx(0.1 / 0.35)
+        assert one_cm_chip.TECH_01UM.track_um < 2.0
+
+    def test_report_renders(self):
+        text = one_cm_chip.report()
+        assert "1 cm" in text
+        assert "0.1 um" in text

@@ -1,0 +1,105 @@
+"""Unit tests for the Station dataclass and the util helpers."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.fetch import FetchedInstruction
+from repro.isa import Instruction, Opcode
+from repro.ultrascalar.station import Station, StationState
+from repro.util.rng import make_rng
+from repro.util.tables import Table, format_float, format_ratio
+
+
+def fetched(op=Opcode.ADD):
+    if op is Opcode.ADD:
+        inst = Instruction(op, rd=1, rs1=2, rs2=3)
+    else:
+        inst = Instruction(op)
+    return FetchedInstruction(0, inst, None, 1)
+
+
+class TestStation:
+    def test_starts_empty(self):
+        station = Station(0)
+        assert not station.occupied
+        assert not station.done
+        assert station.writes_register is None
+
+    def test_load_fills(self):
+        station = Station(3)
+        station.load(fetched(), seq=7, cycle=5)
+        assert station.occupied
+        assert station.state is StationState.WAITING
+        assert station.seq == 7
+        assert station.fetch_cycle == 5
+        assert station.writes_register == 1
+
+    def test_clear_resets_everything(self):
+        station = Station(0)
+        station.load(fetched(), 1, 1)
+        station.result = 9
+        station.committed = True
+        station.clear()
+        assert not station.occupied
+        assert station.result is None
+        assert not station.committed
+        assert station.seq == -1
+
+    def test_no_write_register_for_nop(self):
+        station = Station(0)
+        station.load(fetched(Opcode.NOP), 0, 0)
+        assert station.writes_register is None
+
+    def test_done_property(self):
+        station = Station(0)
+        station.load(fetched(), 0, 0)
+        station.state = StationState.DONE
+        assert station.done
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().integers(0, 1000) == make_rng().integers(0, 1000)
+
+    def test_explicit_seed(self):
+        a = make_rng(42).random(3)
+        b = make_rng(42).random(3)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).integers(0, 1 << 30) != make_rng(2).integers(0, 1 << 30)
+
+
+class TestTables:
+    def test_basic_render(self):
+        table = Table(["a", "b"], title="t")
+        table.add_row([1, 2])
+        text = table.render()
+        assert "t" in text and "a" in text and "1" in text
+
+    def test_first_column_left_rest_right(self):
+        table = Table(["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["longer", 22])
+        lines = table.render().splitlines()
+        assert lines[-1].startswith("longer")
+        assert lines[-1].rstrip().endswith("22")
+
+    def test_row_width_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_floats_formatted(self):
+        table = Table(["a"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+
+    def test_format_float_ranges(self):
+        assert format_float(0) == "0"
+        assert "e" in format_float(1.5e12)
+        assert "e" in format_float(1.5e-7)
+        assert format_float(12.5) == "12.5"
+
+    def test_format_ratio(self):
+        assert format_ratio(11.45) == "11.4x"
