@@ -4,70 +4,128 @@ Usage::
 
     python -m repro list                 # available experiments
     python -m repro fig3                 # one experiment's table(s)
-    python -m repro all                  # everything (a few minutes)
+    python -m repro all                  # everything
+    python -m repro all --jobs 4         # fan out across worker processes
+
+Options::
+
+    --jobs N       worker processes (default 1: run in-process)
+    --json PATH    write a machine-readable run artifact (see docs)
+    --cache-dir D  result cache location (default .repro_cache/)
+    --no-cache     recompute everything; neither read nor write the cache
+    --timeout S    per-job watchdog when --jobs > 1 (default 300)
+    --retries N    extra attempts after a crash/timeout (default 1)
+
+Results are cached on disk keyed by (experiment, arguments, package
+version), so a warm ``all`` replays instantly; a failing experiment is
+reported on stderr and the rest still run (exit code 1).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from collections.abc import Mapping
 
-from repro.experiments import (
-    cluster_sweep,
-    crossover,
-    dominance_map,
-    fig3_timing,
-    fig11_table,
-    fig12_layout,
-    gate_depth,
-    ilp_limits,
-    ipc_equivalence,
-    performance_projection,
-    memory_bw,
-    one_cm_chip,
-    selftimed,
-    three_d,
-    window_vs_issue,
-)
+from repro.runner.artifacts import write_artifact
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.metrics import JobResult, format_summary
+from repro.runner.pool import run_jobs
+from repro.runner.registry import REGISTRY, build_jobs
 
-EXPERIMENTS = {
-    "fig3": ("E1  — Figure 3 timing diagram", fig3_timing.report),
-    "fig11": ("E2  — Figure 11 asymptotic comparison", fig11_table.report),
-    "fig12": ("E3  — Figure 12 layout density", fig12_layout.report),
-    "crossover": ("E4  — dominance crossovers", crossover.report),
-    "cluster": ("E5  — optimal cluster size", cluster_sweep.report),
-    "membw": ("E6  — X(n) by memory regime", memory_bw.report),
-    "3d": ("E7  — three-dimensional bounds", three_d.report),
-    "selftimed": ("E8  — self-timed locality", selftimed.report),
-    "gates": ("E9  — measured gate delays", gate_depth.report),
-    "ipc": ("E10 — ILP equivalence & quadratic wall", ipc_equivalence.report),
-    "window": ("E12 — window size vs issue width (Memo 2)", window_vs_issue.report),
-    "map": ("E13 — dominance map over (n, L)", dominance_map.report),
-    "perf": ("E14 — end-to-end performance projection", performance_projection.report),
-    "ilp": ("E15 — ILP limits at large windows", ilp_limits.report),
-    "1cm": ("E16 — the closing 1 cm chip claim", one_cm_chip.report),
-}
+
+class _ExperimentIndex(Mapping):
+    """Legacy view of the registry: key -> (title, report callable).
+
+    Kept for importers of ``repro.__main__.EXPERIMENTS``; loads the
+    experiment module only when its entry is actually accessed.
+    """
+
+    def __getitem__(self, key: str):
+        spec = REGISTRY[key]
+        return (spec.title, spec.load())
+
+    def __iter__(self):
+        return iter(REGISTRY)
+
+    def __len__(self) -> int:
+        return len(REGISTRY)
+
+
+EXPERIMENTS = _ExperimentIndex()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", add_help=False)
+    parser.add_argument("name", nargs="?")
+    parser.add_argument("-h", "--help", action="store_true", dest="help")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--json", dest="json_path", default=None)
+    parser.add_argument("--cache-dir", dest="cache_dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--no-cache", action="store_true", dest="no_cache")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--retries", type=int, default=1)
+    return parser
+
+
+def _print_listing() -> None:
+    print(__doc__)
+    print("Experiments:")
+    for key, spec in REGISTRY.items():
+        print(f"  {key:10s} {spec.title}")
 
 
 def main(argv: list[str] | None = None) -> int:
     """Dispatch one experiment (or ``all``); returns a process exit code."""
     args = sys.argv[1:] if argv is None else argv
-    if not args or args[0] in ("-h", "--help", "list"):
-        print(__doc__)
-        print("Experiments:")
-        for key, (title, _) in EXPERIMENTS.items():
-            print(f"  {key:10s} {title}")
+    try:
+        opts = _build_parser().parse_args(args)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+    if opts.help or opts.name in (None, "list"):
+        _print_listing()
         return 0
-    name = args[0]
-    if name == "all":
-        for key, (title, report) in EXPERIMENTS.items():
-            print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
-            print(report())
-        return 0
-    if name not in EXPERIMENTS:
+    name = opts.name
+    if name != "all" and name not in REGISTRY:
         print(f"unknown experiment {name!r}; try `python -m repro list`", file=sys.stderr)
         return 2
-    print(EXPERIMENTS[name][1]())
-    return 0
+
+    specs = list(REGISTRY.values()) if name == "all" else [REGISTRY[name]]
+    cache = None if opts.no_cache else ResultCache(opts.cache_dir)
+    jobs = build_jobs(specs, cache=cache)
+    show_headers = name == "all"
+
+    def emit(result: JobResult) -> None:
+        if show_headers and result.index == 0:
+            print(f"\n{'=' * 70}\n{result.title}\n{'=' * 70}")
+        if result.ok:
+            print(result.output)
+        else:
+            print(
+                f"experiment {result.experiment!r} {result.status} "
+                f"after {result.attempts} attempt(s)",
+                file=sys.stderr,
+            )
+            if result.error:
+                print(result.error.rstrip(), file=sys.stderr)
+
+    results = run_jobs(
+        jobs,
+        workers=opts.jobs,
+        cache=cache,
+        timeout=opts.timeout,
+        retries=opts.retries,
+        on_result=emit,
+    )
+    print(format_summary(results), file=sys.stderr)
+    if opts.json_path:
+        write_artifact(
+            opts.json_path,
+            results,
+            workers=opts.jobs,
+            cache_dir=None if cache is None else str(cache.root),
+        )
+    return 0 if all(r.ok for r in results) else 1
 
 
 if __name__ == "__main__":

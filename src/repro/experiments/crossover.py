@@ -14,6 +14,17 @@ from repro.analysis.fitting import fit_exponent
 from repro.util.tables import Table
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [
+    {
+        "L_values": [8, 16, 32, 64],
+        "n_values": [16, 64, 256, 1024, 4096, 16384],
+        "big_n": 65536,
+    }
+]
+
+
 @dataclass
 class CrossoverResult:
     """Measured crossovers and dominance factors."""
@@ -60,9 +71,13 @@ def run(
     )
 
 
-def report() -> str:
+def report(
+    L_values: list[int] | None = None,
+    n_values: list[int] | None = None,
+    big_n: int = 65536,
+) -> str:
     """Crossover and dominance tables."""
-    outcome = run()
+    outcome = run(L_values, n_values, big_n)
     table = Table(
         ["L", "crossover n*", "n*/L²", "US1/hybrid wire ratio @ n=65536"],
         title="E4 — dominance crossovers (US-II wins below n*, US-I above; "

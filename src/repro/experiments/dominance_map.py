@@ -19,6 +19,16 @@ from repro.vlsi.htree_layout import Ultrascalar1Layout
 from repro.vlsi.hybrid_layout import HybridLayout
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [
+    {
+        "n_values": [16, 64, 256, 1024, 4096, 16384],
+        "L_values": [8, 16, 32, 64, 128],
+    }
+]
+
+
 @dataclass
 class DominanceMap:
     """Winner per (n, L) cell."""
@@ -98,9 +108,12 @@ def run(
     )
 
 
-def report() -> str:
+def report(
+    n_values: list[int] | None = None,
+    L_values: list[int] | None = None,
+) -> str:
     """Two maps: US-I vs US-II, and overall (with the hybrid)."""
-    outcome = run()
+    outcome = run(n_values, L_values)
     pair = Table(
         ["n \\ L"] + [str(L) for L in outcome.L_values],
         title="E13 — shortest critical wire, US-I vs US-II "

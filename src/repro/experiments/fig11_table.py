@@ -21,6 +21,11 @@ from repro.vlsi.htree_layout import Ultrascalar1Layout
 from repro.vlsi.hybrid_layout import HybridLayout
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [{"L": 32}]
+
+
 @dataclass
 class Fig11Validation:
     """Measured vs predicted wire-delay growth exponents (in n, L fixed)."""
@@ -58,10 +63,10 @@ def validate(sizes: list[int] | None = None, L: int = 32) -> Fig11Validation:
     )
 
 
-def report() -> str:
+def report(sizes: list[int] | None = None, L: int = 32) -> str:
     """All three Figure 11 regime tables plus the measured validation."""
     blocks = [figure11_table(regime).render() for regime in Regime]
-    validation = validate()
+    validation = validate(sizes, L)
     table = Table(
         ["Processor", "Measured wire exponent (in n)", "Paper (Case 1)"],
         title=f"E2 — measured layout-model growth at L={validation.L}, M=0",

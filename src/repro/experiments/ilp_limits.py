@@ -23,6 +23,17 @@ from repro.util.tables import Table
 from repro.workloads import random_ilp
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [
+    {
+        "densities": [0.2, 0.5, 0.8],
+        "windows": [8, 32, 128, 512, 2048],
+        "instructions": 4000,
+    }
+]
+
+
 @dataclass
 class IlpCurve:
     """IPC vs window for one dependence density."""
@@ -95,9 +106,13 @@ def run(
     return IlpLimitsResult(curves=curves)
 
 
-def report() -> str:
+def report(
+    densities: list[float] | None = None,
+    windows: list[int] | None = None,
+    instructions: int = 4000,
+) -> str:
     """The ILP-vs-window table."""
-    outcome = run()
+    outcome = run(densities, windows, instructions)
     windows = outcome.curves[0].windows
     table = Table(
         ["dependence density"] + [f"n={w}" for w in windows],

@@ -19,6 +19,17 @@ from repro.util.tables import Table
 from repro.vlsi.htree_layout import Ultrascalar1Layout
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [
+    {
+        "sizes": [4**k for k in range(3, 15)],
+        "L": 32,
+        "exponents": [0.0, 0.25, 0.5, 0.75, 1.0],
+    }
+]
+
+
 @dataclass
 class MemoryBwResult:
     """Side-length sweeps per bandwidth exponent."""
@@ -78,9 +89,13 @@ def run(
     )
 
 
-def report() -> str:
+def report(
+    sizes: list[int] | None = None,
+    L: int = 32,
+    exponents: list[float] | None = None,
+) -> str:
     """The E6 table: measured exponents per regime."""
-    outcome = run()
+    outcome = run(sizes, L, exponents)
     table = Table(
         ["M(n) = n^e", "paper case", "X(n) exponent (measured)", "expected", "W/X at max n"],
         title=f"E6 — Ultrascalar I side-length X(n) growth by memory regime (L={outcome.L})",

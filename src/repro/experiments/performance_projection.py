@@ -27,6 +27,11 @@ from repro.util.tables import Table
 from repro.workloads import Workload, random_ilp
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [{"windows": [16, 64, 256, 1024], "L": 32}]
+
+
 @dataclass
 class ProjectionRow:
     """One window size's projection for all designs."""
@@ -96,9 +101,9 @@ def run(
     return ProjectionResult(rows=rows, L=L)
 
 
-def report() -> str:
+def report(windows: list[int] | None = None, L: int = 32) -> str:
     """The projection table (relative units)."""
-    outcome = run()
+    outcome = run(windows=windows, L=L)
     table = Table(
         ["window n", "IPC", "US-I perf", "US-II perf", "Hybrid perf", "Conventional perf"],
         title=f"E14 — end-to-end projection: IPC / clock period (relative units, L={outcome.L})",

@@ -18,6 +18,11 @@ from repro.network.htree import successor_tree_distances, successor_wire_lengths
 from repro.util.tables import Table
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [{"sizes": [16, 64, 256, 1024]}]
+
+
 @dataclass
 class SelfTimedResult:
     """Per-n locality census."""
@@ -49,9 +54,9 @@ def run(sizes: list[int] | None = None) -> SelfTimedResult:
     return SelfTimedResult(local_fraction=local, mean_wire=mean_wire, max_wire=max_wire)
 
 
-def report() -> str:
+def report(sizes: list[int] | None = None) -> str:
     """The locality table."""
-    outcome = run()
+    outcome = run(sizes)
     table = Table(
         ["n", "local successor hops", "mean wire (leaf units)", "max wire"],
         title="E8 — station→successor locality in the H-tree "

@@ -8,6 +8,11 @@ from repro.analysis.three_d import three_d_table, volume_improvement_2d_to_3d
 from repro.util.tables import Table
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [{"n": 4096, "L_values": [8, 16, 32, 64, 128]}]
+
+
 @dataclass
 class ThreeDResult:
     """Evaluated 3-D bounds and 2-D vs 3-D comparisons."""
@@ -35,9 +40,9 @@ def run(n: int = 4096, L_values: list[int] | None = None) -> ThreeDResult:
     )
 
 
-def report() -> str:
+def report(n: int = 4096, L_values: list[int] | None = None) -> str:
     """Bounds table plus the 2-D -> 3-D hybrid improvements."""
-    outcome = run()
+    outcome = run(n, L_values)
     table = Table(
         ["L", "2-D optimal C = Θ(L)", "3-D optimal C = Θ(L^3/4)", "2-D area / 3-D volume"],
         title="E7 — hybrid in three dimensions (paper Section 7)",

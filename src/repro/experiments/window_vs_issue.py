@@ -21,6 +21,13 @@ from repro.util.tables import Table
 from repro.workloads import Workload, random_ilp
 
 
+#: sweep points the runner executes and the cache keys (kwargs for
+#: :func:`report`)
+SWEEP_POINTS: list[dict] = [
+    {"windows": [4, 8, 16, 32, 64], "alu_pools": [1, 2, 4, 8, 16]}
+]
+
+
 @dataclass
 class WindowIssueResult:
     """The IPC grid."""
@@ -77,9 +84,12 @@ def run(
     return WindowIssueResult(windows=windows, alu_pools=alu_pools, ipc=grid)
 
 
-def report() -> str:
+def report(
+    windows: list[int] | None = None,
+    alu_pools: list[int] | None = None,
+) -> str:
     """The IPC grid as a table."""
-    outcome = run()
+    outcome = run(windows=windows, alu_pools=alu_pools)
     table = Table(
         ["window \\ ALUs"] + [str(a) for a in outcome.alu_pools],
         title="E12 — IPC over (window size, shared-ALU pool) "

@@ -1,0 +1,93 @@
+"""Machine-readable run artifacts (the ``--json PATH`` flag).
+
+The artifact is a stable, diff-friendly JSON document: results are
+listed in job order, report text is summarized by its SHA-256 (so two
+artifacts diff cleanly even when reports are kilobytes), and the only
+non-deterministic fields are the wall times.  Schema::
+
+    {
+      "schema": "repro-runner/1",
+      "version": "<repro.__version__>",
+      "workers": <int>,                 # --jobs value
+      "cache_dir": "<path>" | null,     # null when --no-cache
+      "totals": {
+        "jobs": <int>, "experiments": <int>, "ok": <int>,
+        "failed": <int>, "cache_hits": <int>, "retried": <int>,
+        "wall_time_s": <float>
+      },
+      "results": [
+        {
+          "experiment": "<key>", "title": "<display title>",
+          "kwargs": {...},              # the declared sweep point
+          "sweep_index": <int>, "sweep_count": <int>,
+          "status": "ok" | "failed" | "timeout",
+          "cache_hit": <bool>,
+          "attempts": <int>,            # 0 for a cache hit
+          "wall_time_s": <float>,
+          "output_sha256": "<hex>" | null,
+          "output_chars": <int> | null,
+          "error": "<last traceback line>" | null
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.runner.metrics import JobResult, summarize
+
+ARTIFACT_SCHEMA = "repro-runner/1"
+
+
+def build_artifact(
+    results: list[JobResult],
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+) -> dict[str, Any]:
+    """Assemble the artifact document for one runner invocation."""
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "version": __version__,
+        "workers": workers,
+        "cache_dir": cache_dir,
+        "totals": summarize(results),
+        "results": [
+            {
+                "experiment": r.experiment,
+                "title": r.title,
+                "kwargs": r.kwargs,
+                "sweep_index": r.index,
+                "sweep_count": r.count,
+                "status": r.status,
+                "cache_hit": r.cache_hit,
+                "attempts": r.attempts,
+                "wall_time_s": round(r.wall_time_s, 6),
+                "output_sha256": r.output_sha256,
+                "output_chars": None if r.output is None else len(r.output),
+                "error": r.error_summary or None,
+            }
+            for r in results
+        ],
+    }
+
+
+def write_artifact(
+    path: str | Path,
+    results: list[JobResult],
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+) -> Path:
+    """Write the artifact JSON to *path* (parent dirs created)."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    document = build_artifact(results, workers=workers, cache_dir=cache_dir)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path

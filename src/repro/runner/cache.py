@@ -1,0 +1,164 @@
+"""Content-addressed on-disk result cache for experiment jobs.
+
+Each cached entry is one JSON file under the cache root (default
+``.repro_cache/``), named ``<experiment>-<digest>.json`` where the
+digest is the SHA-256 of the canonical JSON encoding of::
+
+    {"experiment": <key>, "kwargs": <sweep point>, "version": <repro.__version__>}
+
+Keying on the package version means a release invalidates every entry
+without any bookkeeping; keying on the kwargs means every sweep point
+caches independently.  Entries are written atomically (temp file +
+``os.replace``) so concurrent jobs never observe a torn file, and any
+unreadable or mismatched entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: sidecar file memoizing each experiment's declared sweep points, so a
+#: fully warm run can key every job without importing the (heavy)
+#: experiment modules at all
+SWEEP_INDEX_FILE = "_sweep_points.json"
+
+
+def canonical_kwargs(kwargs: dict[str, Any]) -> str:
+    """Deterministic JSON encoding of a sweep point (sorted, compact)."""
+    return json.dumps(kwargs, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result: the report text plus its provenance."""
+
+    key: str
+    experiment: str
+    kwargs: dict[str, Any]
+    version: str
+    output: str
+    compute_time_s: float
+
+
+class ResultCache:
+    """A directory of content-addressed experiment results."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def key_for(self, experiment: str, kwargs: dict[str, Any]) -> str:
+        """SHA-256 digest identifying (experiment, kwargs, version)."""
+        payload = json.dumps(
+            {
+                "experiment": experiment,
+                "kwargs": json.loads(canonical_kwargs(kwargs)),
+                "version": __version__,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, experiment: str, kwargs: dict[str, Any]) -> Path:
+        """Where the entry for (experiment, kwargs) lives on disk."""
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in experiment)
+        return self.root / f"{safe}-{self.key_for(experiment, kwargs)[:16]}.json"
+
+    def get(self, experiment: str, kwargs: dict[str, Any]) -> CacheEntry | None:
+        """Look up a result; any corruption or mismatch is a miss."""
+        path = self.path_for(experiment, kwargs)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        expected = self.key_for(experiment, kwargs)
+        if (
+            not isinstance(raw, dict)
+            or raw.get("key") != expected
+            or raw.get("experiment") != experiment
+            or raw.get("version") != __version__
+            or not isinstance(raw.get("output"), str)
+        ):
+            return None
+        return CacheEntry(
+            key=expected,
+            experiment=experiment,
+            kwargs=dict(kwargs),
+            version=__version__,
+            output=raw["output"],
+            compute_time_s=float(raw.get("compute_time_s", 0.0)),
+        )
+
+    def put(
+        self,
+        experiment: str,
+        kwargs: dict[str, Any],
+        output: str,
+        compute_time_s: float,
+    ) -> Path:
+        """Store a result atomically; returns the entry path."""
+        path = self.path_for(experiment, kwargs)
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": self.key_for(experiment, kwargs),
+            "experiment": experiment,
+            "kwargs": json.loads(canonical_kwargs(kwargs)),
+            "version": __version__,
+            "compute_time_s": compute_time_s,
+            "output": output,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def _read_sweep_index(self) -> dict[str, Any]:
+        try:
+            raw = json.loads((self.root / SWEEP_INDEX_FILE).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict) or raw.get("version") != __version__:
+            return {}
+        points = raw.get("points")
+        return points if isinstance(points, dict) else {}
+
+    def get_sweep_points(self, experiment: str) -> list[dict[str, Any]] | None:
+        """Memoized sweep points for *experiment*, if this version stored them."""
+        points = self._read_sweep_index().get(experiment)
+        if isinstance(points, list) and all(isinstance(p, dict) for p in points):
+            return [dict(p) for p in points]
+        return None
+
+    def put_sweep_points(self, experiment: str, points: list[dict[str, Any]]) -> None:
+        """Merge *experiment*'s sweep points into the sidecar index."""
+        merged = self._read_sweep_index()
+        merged[experiment] = json.loads(json.dumps(points))
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / SWEEP_INDEX_FILE
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps({"version": __version__, "points": merged}, indent=1),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)

@@ -1,0 +1,186 @@
+"""Job execution: sequential or process-pool fan-out with a watchdog.
+
+Jobs are pure functions of their :class:`~repro.runner.registry.JobSpec`
+(module path + function name + kwargs), so they pickle cheaply and run
+identically inline or in a worker process.  The parent owns the cache:
+workers never touch disk, results are stored once per miss on the way
+back.  Each job gets ``1 + retries`` attempts; a timeout or crash on the
+final attempt marks that job failed and the run continues — one broken
+experiment no longer aborts ``all``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
+from typing import Callable
+
+from repro.runner.cache import ResultCache
+from repro.runner.metrics import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, JobResult
+from repro.runner.registry import JobSpec
+
+
+def _execute(module: str, func: str, kwargs: dict) -> tuple[str, str, float]:
+    """Run one job; errors come back as data so the parent can retry.
+
+    Runs in worker processes (and inline when ``workers == 1``), so it
+    must stay a picklable top-level function.
+    """
+    start = perf_counter()
+    try:
+        fn = getattr(importlib.import_module(module), func)
+        output = fn(**kwargs)
+        if not isinstance(output, str):
+            raise TypeError(
+                f"{module}.{func} returned {type(output).__name__}, expected str"
+            )
+        return (STATUS_OK, output, perf_counter() - start)
+    except Exception:
+        return (STATUS_FAILED, traceback.format_exc(), perf_counter() - start)
+
+
+def _hit_result(job: JobSpec, entry, elapsed: float) -> JobResult:
+    return JobResult(
+        experiment=job.experiment,
+        title=job.title,
+        kwargs=dict(job.kwargs),
+        index=job.index,
+        count=job.count,
+        status=STATUS_OK,
+        cache_hit=True,
+        attempts=0,
+        wall_time_s=elapsed,
+        output=entry.output,
+        compute_time_s=entry.compute_time_s,
+    )
+
+
+def _miss_result(
+    job: JobSpec, status: str, payload: str, elapsed: float, attempts: int
+) -> JobResult:
+    ok = status == STATUS_OK
+    return JobResult(
+        experiment=job.experiment,
+        title=job.title,
+        kwargs=dict(job.kwargs),
+        index=job.index,
+        count=job.count,
+        status=status,
+        cache_hit=False,
+        attempts=attempts,
+        wall_time_s=elapsed,
+        output=payload if ok else None,
+        error=None if ok else payload,
+        compute_time_s=elapsed if ok else 0.0,
+    )
+
+
+def _run_inline(job: JobSpec, attempts: int) -> JobResult:
+    """Execute with retry in this process (the ``--jobs 1`` path)."""
+    for attempt in range(1, attempts + 1):
+        status, payload, elapsed = _execute(job.module, job.func, dict(job.kwargs))
+        if status == STATUS_OK or attempt == attempts:
+            return _miss_result(job, status, payload, elapsed, attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_jobs(
+    jobs: list[JobSpec],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    on_result: Callable[[JobResult], None] | None = None,
+) -> list[JobResult]:
+    """Run every job; emit results in job order via ``on_result``.
+
+    Cache hits are resolved in the parent before any worker spawns, so a
+    fully warm run never pays pool start-up.  ``timeout`` bounds each
+    wait on a parallel job (the inline path has no watchdog — there is
+    no second process to keep the CLI responsive).  Failed jobs are
+    recorded, not raised.
+    """
+    attempts_allowed = 1 + max(0, retries)
+    hits: dict[int, object] = {}
+    for idx, job in enumerate(jobs):
+        if cache is not None:
+            start = perf_counter()
+            entry = cache.get(job.experiment, job.kwargs)
+            if entry is not None:
+                hits[idx] = (entry, perf_counter() - start)
+
+    results: list[JobResult] = []
+
+    def emit(result: JobResult) -> None:
+        if cache is not None and result.ok and not result.cache_hit:
+            cache.put(
+                result.experiment, result.kwargs, result.output, result.wall_time_s
+            )
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    misses = [idx for idx in range(len(jobs)) if idx not in hits]
+    if workers <= 1 or len(misses) <= 1:
+        for idx, job in enumerate(jobs):
+            if idx in hits:
+                entry, elapsed = hits[idx]
+                emit(_hit_result(job, entry, elapsed))
+            else:
+                emit(_run_inline(job, attempts_allowed))
+        return results
+
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
+    futures: dict[int, Future] = {}
+    attempts: dict[int, int] = {}
+
+    def submit(idx: int) -> None:
+        job = jobs[idx]
+        attempts[idx] = attempts.get(idx, 0) + 1
+        futures[idx] = pool.submit(_execute, job.module, job.func, dict(job.kwargs))
+
+    try:
+        for idx in misses:
+            submit(idx)
+        for idx, job in enumerate(jobs):
+            if idx in hits:
+                entry, elapsed = hits[idx]
+                emit(_hit_result(job, entry, elapsed))
+                continue
+            while True:
+                try:
+                    status, payload, elapsed = futures[idx].result(timeout=timeout)
+                except FutureTimeout:
+                    futures[idx].cancel()
+                    status = STATUS_TIMEOUT
+                    payload = (
+                        f"timed out after {timeout}s "
+                        f"(attempt {attempts[idx]}/{attempts_allowed})"
+                    )
+                    elapsed = float(timeout or 0.0)
+                except BrokenProcessPool:
+                    # a worker died hard (e.g. OOM-kill); the whole pool
+                    # is poisoned, so rebuild it for the remaining jobs
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
+                    for other in misses:
+                        if other > idx and not futures[other].done():
+                            attempts[other] -= 1  # not this job's fault
+                            submit(other)
+                    status = STATUS_FAILED
+                    payload = (
+                        "worker process died before returning "
+                        f"(attempt {attempts[idx]}/{attempts_allowed})"
+                    )
+                    elapsed = 0.0
+                if status == STATUS_OK or attempts[idx] >= attempts_allowed:
+                    emit(_miss_result(job, status, payload, elapsed, attempts[idx]))
+                    break
+                submit(idx)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results

@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the repro test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden report snapshots under tests/golden/ "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should regenerate golden snapshots."""
+    return request.config.getoption("--update-golden")

@@ -1,10 +1,13 @@
 """Unit tests for the CLI entry point and the result/timing helpers."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
 from repro.isa import Instruction, Opcode
 from repro.isa.registers import MachineSpec
+from repro.runner.registry import ExperimentSpec
 from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
 from repro.workloads import paper_sequence
 
@@ -31,6 +34,58 @@ class TestCli:
         assert len(EXPERIMENTS) >= 12
         for title, report in EXPERIMENTS.values():
             assert callable(report)
+
+
+class TestRunnerCli:
+    def test_jobs_flag_accepted(self, capsys, tmp_path):
+        assert main(["fig12", "--jobs", "2", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "density ratio" in capsys.readouterr().out
+
+    def test_cache_dir_roundtrip_is_byte_identical(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig12", "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("fig12-*.json")), "result not cached"
+        assert main(["fig12", "--cache-dir", str(cache_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_artifact_reports_cache_hits(self, capsys, tmp_path):
+        artifact = tmp_path / "run.json"
+        cache = str(tmp_path / "c")
+        assert main(["fig12", "--cache-dir", cache, "--json", str(artifact)]) == 0
+        data = json.loads(artifact.read_text(encoding="utf-8"))
+        assert data["schema"] == "repro-runner/1"
+        [result] = data["results"]
+        assert result["experiment"] == "fig12" and result["status"] == "ok"
+        assert result["cache_hit"] is False
+        assert main(["fig12", "--cache-dir", cache, "--json", str(artifact)]) == 0
+        [warm] = json.loads(artifact.read_text(encoding="utf-8"))["results"]
+        assert warm["cache_hit"] is True
+        assert warm["output_sha256"] == result["output_sha256"]
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        assert main(["fig12", "--no-cache", "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
+
+    def test_unknown_flag_exits_2(self, capsys):
+        assert main(["fig12", "--bogus"]) == 2
+
+    def test_all_isolates_failures_and_returns_nonzero(self, capsys, monkeypatch):
+        import repro.__main__ as cli
+
+        fake = {
+            "good": ExperimentSpec("good", "EX1 — good", "repro.runner._selftest", "ok"),
+            "bad": ExperimentSpec("bad", "EX2 — bad", "repro.runner._selftest", "boom"),
+            "tail": ExperimentSpec("tail", "EX3 — tail", "repro.runner._selftest", "ok"),
+        }
+        monkeypatch.setattr(cli, "REGISTRY", fake)
+        assert main(["all", "--no-cache", "--retries", "0"]) == 1
+        captured = capsys.readouterr()
+        # the crash in 'bad' did not abort the experiments after it
+        assert "EX1 — good" in captured.out and "EX3 — tail" in captured.out
+        assert "experiment 'bad' failed" in captured.err
+        assert "RuntimeError: boom" in captured.err
 
 
 class TestTimingDiagram:

@@ -1,0 +1,57 @@
+"""Bit-identical re-execution of the processor models.
+
+The process-pool runner assumes an experiment computes the same result
+no matter which process (or which run) executes it.  These tests pin
+that contract at the simulator level: two runs of each factory on the
+same kernel must agree on every field of :class:`ProcessorResult`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ultrascalar import (
+    IdealMemory,
+    ProcessorConfig,
+    ProcessorResult,
+    make_hybrid,
+    make_ultrascalar1,
+    make_ultrascalar2,
+)
+from repro.workloads import fibonacci
+
+
+def _run_once(kind: str) -> ProcessorResult:
+    workload = fibonacci(8)
+    config = ProcessorConfig(window_size=16, fetch_width=16)
+    memory = IdealMemory()
+    memory.load_image(workload.memory_image)
+    if kind == "us1":
+        processor = make_ultrascalar1(
+            workload.program, config, memory=memory,
+            initial_registers=workload.registers_for(),
+        )
+    elif kind == "us2":
+        processor = make_ultrascalar2(
+            workload.program, config, memory=memory,
+            initial_registers=workload.registers_for(),
+        )
+    else:
+        processor = make_hybrid(
+            workload.program, 4, config, memory=memory,
+            initial_registers=workload.registers_for(),
+        )
+    return processor.run()
+
+
+@pytest.mark.parametrize("kind", ["us1", "us2", "hybrid"])
+def test_processor_result_bit_identical(kind):
+    first = _run_once(kind)
+    second = _run_once(kind)
+    assert first.cycles == second.cycles
+    assert first.registers == second.registers
+    assert first.memory == second.memory
+    assert first.timings == second.timings
+    assert first.committed == second.committed
+    # and everything else, in one sweep
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
