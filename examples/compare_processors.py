@@ -11,14 +11,8 @@ IPC table — the behavioural side of the paper's "identical scheduling
 policies" claim plus the Ultrascalar II's idle-tax.
 """
 
+from repro.api import IdealMemory, ProcessorConfig, build_processor
 from repro.frontend.branch_predictor import BimodalPredictor
-from repro.ultrascalar import (
-    IdealMemory,
-    ProcessorConfig,
-    make_hybrid,
-    make_ultrascalar1,
-    make_ultrascalar2,
-)
 from repro.util.tables import Table
 from repro.workloads import (
     daxpy_loop,
@@ -34,16 +28,13 @@ def run_one(workload, kind, predictor=None):
     config = ProcessorConfig(window_size=32, fetch_width=8)
     memory = IdealMemory()
     memory.load_image(workload.memory_image)
-    kwargs = dict(config=config, memory=memory, initial_registers=workload.registers_for())
-    if predictor is not None:
-        kwargs["predictor"] = predictor
-    if kind == "us1":
-        processor = make_ultrascalar1(workload.program, **kwargs)
-    elif kind == "us2":
-        processor = make_ultrascalar2(workload.program, **kwargs)
-    else:
-        processor = make_hybrid(workload.program, 8, **kwargs)
-    return processor.run()
+    processor = build_processor(kind, config, cluster_size=8)
+    return processor.run(
+        workload.program,
+        memory=memory,
+        predictor=predictor,
+        initial_registers=workload.registers_for(),
+    )
 
 
 def main() -> None:
@@ -62,7 +53,7 @@ def main() -> None:
     for workload in workloads:
         us1 = run_one(workload, "us1")
         us2 = run_one(workload, "us2")
-        hybrid = run_one(workload, "hyb")
+        hybrid = run_one(workload, "hybrid")
         real = run_one(workload, "us1", predictor=BimodalPredictor(size=128))
         table.add_row(
             [

@@ -12,7 +12,7 @@ Usage::
    near-neighbour dependence is cheap and far dependence is dear.
 """
 
-from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
+from repro.api import IdealMemory, ProcessorConfig, build_processor
 from repro.ultrascalar.trace_view import render_pipeline
 from repro.util.tables import Table
 from repro.workloads import independent_ops, spaced_chain, store_load_pairs
@@ -22,10 +22,11 @@ def run(workload, load_latency=1, **config_kwargs):
     config = ProcessorConfig(window_size=16, fetch_width=8, **config_kwargs)
     memory = IdealMemory(load_latency=load_latency)
     memory.load_image(workload.memory_image)
-    return make_ultrascalar1(
-        workload.program, config, memory=memory,
+    return build_processor("us1", config).run(
+        workload.program,
+        memory=memory,
         initial_registers=workload.registers_for(),
-    ).run()
+    )
 
 
 def main() -> None:

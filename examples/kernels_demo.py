@@ -10,9 +10,9 @@ recurrence hitting its dataflow limit (Fibonacci), and the Section 7
 distributed cluster cache cutting shared-memory traffic.
 """
 
+from repro.api import IdealMemory, ProcessorConfig, build_processor
 from repro.frontend.branch_predictor import AlwaysNotTaken, BimodalPredictor, GSharePredictor
 from repro.memory import ClusteredMemory
-from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
 from repro.util.tables import Table
 from repro.workloads import bubble_sort, fib_value, fibonacci, matmul, repeated_reduction
 
@@ -21,10 +21,12 @@ def run(workload, window=16, predictor=None, memory=None):
     config = ProcessorConfig(window_size=window, fetch_width=4, max_cycles=5_000_000)
     mem = memory if memory is not None else IdealMemory()
     mem.load_image(workload.memory_image)
-    kwargs = dict(config=config, memory=mem, initial_registers=workload.registers_for())
-    if predictor is not None:
-        kwargs["predictor"] = predictor
-    return make_ultrascalar1(workload.program, **kwargs).run()
+    return build_processor("us1", config).run(
+        workload.program,
+        memory=mem,
+        predictor=predictor,
+        initial_registers=workload.registers_for(),
+    )
 
 
 def main() -> None:

@@ -11,12 +11,12 @@ sweeps bank counts; and demonstrates the trace cache raising effective
 fetch bandwidth across taken control transfers.
 """
 
+from repro.api import CachedMemory, ProcessorConfig, build_processor
 from repro.frontend.branch_predictor import AlwaysNotTaken
 from repro.frontend.fetch import FetchUnit
 from repro.memory.interleaved_cache import InterleavedCache
 from repro.memory.trace_cache import TraceCache
 from repro.network.fattree import FatTree, bandwidth_constant, bandwidth_linear, bandwidth_power
-from repro.ultrascalar import CachedMemory, ProcessorConfig, make_ultrascalar1
 from repro.util.tables import Table
 from repro.workloads import jump_chain, parallel_loads
 
@@ -27,10 +27,9 @@ def run_loads(workload, bandwidth, banks=8):
     memory = CachedMemory(cache)
     memory.load_image(workload.memory_image)
     config = ProcessorConfig(window_size=64, fetch_width=16)
-    processor = make_ultrascalar1(
-        workload.program, config, memory=memory, initial_registers=workload.registers_for()
+    result = build_processor("us1", config).run(
+        workload.program, memory=memory, initial_registers=workload.registers_for()
     )
-    result = processor.run()
     return result, cache.stats
 
 

@@ -9,8 +9,8 @@ factory, and the result object (cycles, IPC, timing diagram, final
 state).
 """
 
+from repro.api import ProcessorConfig, build_processor
 from repro.isa import assemble
-from repro.ultrascalar import IdealMemory, ProcessorConfig, make_ultrascalar1
 
 SOURCE = """
     # compute sum of squares 1^2 + 2^2 + ... + 10^2 into r3
@@ -32,8 +32,8 @@ def main() -> None:
     print()
 
     config = ProcessorConfig(window_size=16, fetch_width=4)
-    processor = make_ultrascalar1(program, config, memory=IdealMemory())
-    result = processor.run()
+    processor = build_processor("us1", config)
+    result = processor.run(program)
 
     print(f"cycles:            {result.cycles}")
     print(f"instructions:      {result.instructions_committed}")

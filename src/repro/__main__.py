@@ -9,12 +9,18 @@ Usage::
 
 Options::
 
+    --list         registered experiments with their sweep points
     --jobs N       worker processes (default 1: run in-process)
     --json PATH    write a machine-readable run artifact (see docs)
+    --trace PATH   write a Chrome trace-event JSON of the run (see docs)
     --cache-dir D  result cache location (default .repro_cache/)
     --no-cache     recompute everything; neither read nor write the cache
     --timeout S    per-job watchdog when --jobs > 1 (default 300)
     --retries N    extra attempts after a crash/timeout (default 1)
+
+``--json`` and ``--trace`` turn on telemetry collection: each executed
+job runs inside a tracing session and its aggregated counters appear in
+the artifact (schema ``repro-runner/2``) and the trace event args.
 
 Results are cached on disk keyed by (experiment, arguments, package
 version), so a warm ``all`` replays instantly; a failing experiment is
@@ -24,10 +30,11 @@ reported on stderr and the rest still run (exit code 1).
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 from collections.abc import Mapping
 
-from repro.runner.artifacts import write_artifact
+from repro.runner.artifacts import write_artifact, write_run_trace
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.metrics import JobResult, format_summary
 from repro.runner.pool import run_jobs
@@ -59,8 +66,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", add_help=False)
     parser.add_argument("name", nargs="?")
     parser.add_argument("-h", "--help", action="store_true", dest="help")
+    parser.add_argument("--list", action="store_true", dest="list_experiments")
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--json", dest="json_path", default=None)
+    parser.add_argument("--trace", dest="trace_path", default=None)
     parser.add_argument("--cache-dir", dest="cache_dir", default=DEFAULT_CACHE_DIR)
     parser.add_argument("--no-cache", action="store_true", dest="no_cache")
     parser.add_argument("--timeout", type=float, default=300.0)
@@ -75,6 +84,27 @@ def _print_listing() -> None:
         print(f"  {key:10s} {spec.title}")
 
 
+def _print_detailed_listing() -> None:
+    """The ``--list`` view: every experiment with its sweep points."""
+    print("Registered experiments:")
+    for key, spec in REGISTRY.items():
+        points = spec.sweep_points()
+        print(f"  {key:10s} {spec.title}")
+        print(f"  {'':10s} module {spec.module}, {len(points)} sweep point(s):")
+        for index, point in enumerate(points):
+            rendered = (
+                ", ".join(f"{k}={v!r}" for k, v in point.items()) or "(no arguments)"
+            )
+            print(f"  {'':10s}   [{index + 1}] {rendered}")
+
+
+def _unknown_experiment_message(name: str) -> str:
+    """Error text for a bad experiment key, with did-you-mean help."""
+    close = difflib.get_close_matches(name, list(REGISTRY), n=3, cutoff=0.4)
+    hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+    return f"unknown experiment {name!r}{hint}; try `python -m repro --list`"
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch one experiment (or ``all``); returns a process exit code."""
     args = sys.argv[1:] if argv is None else argv
@@ -82,12 +112,15 @@ def main(argv: list[str] | None = None) -> int:
         opts = _build_parser().parse_args(args)
     except SystemExit as exc:
         return exc.code if isinstance(exc.code, int) else 2
+    if opts.list_experiments:
+        _print_detailed_listing()
+        return 0
     if opts.help or opts.name in (None, "list"):
         _print_listing()
         return 0
     name = opts.name
     if name != "all" and name not in REGISTRY:
-        print(f"unknown experiment {name!r}; try `python -m repro list`", file=sys.stderr)
+        print(_unknown_experiment_message(name), file=sys.stderr)
         return 2
 
     specs = list(REGISTRY.values()) if name == "all" else [REGISTRY[name]]
@@ -116,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         timeout=opts.timeout,
         retries=opts.retries,
         on_result=emit,
+        collect_stats=bool(opts.json_path or opts.trace_path),
     )
     print(format_summary(results), file=sys.stderr)
     if opts.json_path:
@@ -125,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
             workers=opts.jobs,
             cache_dir=None if cache is None else str(cache.root),
         )
+    if opts.trace_path:
+        write_run_trace(opts.trace_path, results)
     return 0 if all(r.ok for r in results) else 1
 
 

@@ -19,8 +19,8 @@ from repro.util.tables import Table
 SWEEP_POINTS: list[dict] = [
     {
         "L_values": [8, 16, 32, 64],
-        "n_values": [16, 64, 256, 1024, 4096, 16384],
-        "big_n": 65536,
+        "sizes": [16, 64, 256, 1024, 4096, 16384],
+        "n": 65536,
     }
 ]
 
@@ -53,17 +53,18 @@ class CrossoverResult:
 
 def run(
     L_values: list[int] | None = None,
-    n_values: list[int] | None = None,
-    big_n: int = 65536,
+    sizes: list[int] | None = None,
+    n: int = 65536,
 ) -> CrossoverResult:
-    """Sweep the layout model over (n, L)."""
+    """Sweep the layout model over window sizes and L; ``n`` is the
+    large-window point the hybrid-advantage factor is evaluated at."""
     L_values = L_values or [8, 16, 32, 64]
-    n_values = n_values or [16, 64, 256, 1024, 4096, 16384]
+    sizes = sizes or [16, 64, 256, 1024, 4096, 16384]
     crossovers = {L: find_crossover(L) for L in L_values}
     ratio_sweep = {
-        L: [(n, wire_delay_ratio(n, L)) for n in n_values] for L in L_values
+        L: [(size, wire_delay_ratio(size, L)) for size in sizes] for L in L_values
     }
-    hybrid_factors = {L: hybrid_advantage(big_n, L) for L in L_values}
+    hybrid_factors = {L: hybrid_advantage(n, L) for L in L_values}
     return CrossoverResult(
         crossovers=crossovers,
         ratio_sweep=ratio_sweep,
@@ -73,11 +74,11 @@ def run(
 
 def report(
     L_values: list[int] | None = None,
-    n_values: list[int] | None = None,
-    big_n: int = 65536,
+    sizes: list[int] | None = None,
+    n: int = 65536,
 ) -> str:
     """Crossover and dominance tables."""
-    outcome = run(L_values, n_values, big_n)
+    outcome = run(L_values, sizes, n)
     table = Table(
         ["L", "crossover n*", "n*/L²", "US1/hybrid wire ratio @ n=65536"],
         title="E4 — dominance crossovers (US-II wins below n*, US-I above; "
@@ -96,8 +97,8 @@ def report(
         ["n"] + [f"L={L}" for L in outcome.ratio_sweep],
         title="US-I wire delay / US-II wire delay (>1 means US-II wins)",
     )
-    n_values = [n for n, _ in next(iter(outcome.ratio_sweep.values()))]
-    for i, n in enumerate(n_values):
+    swept_sizes = [size for size, _ in next(iter(outcome.ratio_sweep.values()))]
+    for i, n in enumerate(swept_sizes):
         sweep.add_row([n] + [round(outcome.ratio_sweep[L][i][1], 2) for L in outcome.ratio_sweep])
     return table.render() + "\n\n" + sweep.render()
 

@@ -23,7 +23,7 @@ from repro.vlsi.hybrid_layout import HybridLayout
 #: :func:`report`)
 SWEEP_POINTS: list[dict] = [
     {
-        "n_values": [16, 64, 256, 1024, 4096, 16384],
+        "sizes": [16, 64, 256, 1024, 4096, 16384],
         "L_values": [8, 16, 32, 64, 128],
     }
 ]
@@ -84,11 +84,11 @@ def _hybrid_for(n: int, L: int) -> HybridLayout:
 
 
 def run(
-    n_values: list[int] | None = None,
+    sizes: list[int] | None = None,
     L_values: list[int] | None = None,
 ) -> DominanceMap:
-    """Evaluate the grid."""
-    n_values = n_values or [16, 64, 256, 1024, 4096, 16384]
+    """Evaluate the grid over window sizes (the n axis) and L."""
+    n_values = sizes or [16, 64, 256, 1024, 4096, 16384]
     L_values = L_values or [8, 16, 32, 64, 128]
     pairwise: dict[tuple[int, int], str] = {}
     overall: dict[tuple[int, int], str] = {}
@@ -109,11 +109,11 @@ def run(
 
 
 def report(
-    n_values: list[int] | None = None,
+    sizes: list[int] | None = None,
     L_values: list[int] | None = None,
 ) -> str:
     """Two maps: US-I vs US-II, and overall (with the hybrid)."""
-    outcome = run(n_values, L_values)
+    outcome = run(sizes, L_values)
     pair = Table(
         ["n \\ L"] + [str(L) for L in outcome.L_values],
         title="E13 — shortest critical wire, US-I vs US-II "

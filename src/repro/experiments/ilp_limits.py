@@ -28,7 +28,7 @@ from repro.workloads import random_ilp
 SWEEP_POINTS: list[dict] = [
     {
         "densities": [0.2, 0.5, 0.8],
-        "windows": [8, 32, 128, 512, 2048],
+        "sizes": [8, 32, 128, 512, 2048],
         "instructions": 4000,
     }
 ]
@@ -86,12 +86,12 @@ class IlpLimitsResult:
 
 def run(
     densities: list[float] | None = None,
-    windows: list[int] | None = None,
+    sizes: list[int] | None = None,
     instructions: int = 4000,
 ) -> IlpLimitsResult:
-    """Sweep (density, window); IPC from the vector engine."""
+    """Sweep (density, window size); IPC from the vector engine."""
     densities = densities or [0.2, 0.5, 0.8]
-    windows = windows or [8, 32, 128, 512, 2048]
+    windows = sizes or [8, 32, 128, 512, 2048]
     curves = []
     for density in densities:
         workload = random_ilp(instructions, density, seed=int(1000 * density) + 7)
@@ -108,11 +108,11 @@ def run(
 
 def report(
     densities: list[float] | None = None,
-    windows: list[int] | None = None,
+    sizes: list[int] | None = None,
     instructions: int = 4000,
 ) -> str:
     """The ILP-vs-window table."""
-    outcome = run(densities, windows, instructions)
+    outcome = run(densities, sizes, instructions)
     windows = outcome.curves[0].windows
     table = Table(
         ["dependence density"] + [f"n={w}" for w in windows],

@@ -29,7 +29,7 @@ from repro.workloads import Workload, random_ilp
 
 #: sweep points the runner executes and the cache keys (kwargs for
 #: :func:`report`)
-SWEEP_POINTS: list[dict] = [{"windows": [16, 64, 256, 1024], "L": 32}]
+SWEEP_POINTS: list[dict] = [{"sizes": [16, 64, 256, 1024], "L": 32}]
 
 
 @dataclass
@@ -74,14 +74,14 @@ class ProjectionResult:
 
 def run(
     workload: Workload | None = None,
-    windows: list[int] | None = None,
+    sizes: list[int] | None = None,
     L: int = 32,
 ) -> ProjectionResult:
     """Sweep window sizes; IPC from the vector engine, clocks from layouts."""
     workload = workload or random_ilp(3000, 0.35, seed=601)
-    windows = windows or [16, 64, 256, 1024]
+    sizes = sizes or [16, 64, 256, 1024]
     rows: list[ProjectionRow] = []
-    for n in windows:
+    for n in sizes:
         engine = VectorRingEngine(
             workload.program, n, min(n, 64), initial_registers=workload.registers_for()
         )
@@ -101,9 +101,9 @@ def run(
     return ProjectionResult(rows=rows, L=L)
 
 
-def report(windows: list[int] | None = None, L: int = 32) -> str:
+def report(sizes: list[int] | None = None, L: int = 32) -> str:
     """The projection table (relative units)."""
-    outcome = run(windows=windows, L=L)
+    outcome = run(sizes=sizes, L=L)
     table = Table(
         ["window n", "IPC", "US-I perf", "US-II perf", "Hybrid perf", "Conventional perf"],
         title=f"E14 — end-to-end projection: IPC / clock period (relative units, L={outcome.L})",

@@ -24,7 +24,7 @@ from repro.workloads import Workload, random_ilp
 #: sweep points the runner executes and the cache keys (kwargs for
 #: :func:`report`)
 SWEEP_POINTS: list[dict] = [
-    {"windows": [4, 8, 16, 32, 64], "alu_pools": [1, 2, 4, 8, 16]}
+    {"sizes": [4, 8, 16, 32, 64], "alu_pools": [1, 2, 4, 8, 16]}
 ]
 
 
@@ -60,12 +60,12 @@ class WindowIssueResult:
 
 def run(
     workload: Workload | None = None,
-    windows: list[int] | None = None,
+    sizes: list[int] | None = None,
     alu_pools: list[int] | None = None,
 ) -> WindowIssueResult:
-    """Sweep the (window, ALU pool) grid."""
+    """Sweep the (window size, ALU pool) grid."""
     workload = workload or random_ilp(400, 0.55, seed=401)
-    windows = windows or [4, 8, 16, 32, 64]
+    windows = sizes or [4, 8, 16, 32, 64]
     alu_pools = alu_pools or [1, 2, 4, 8, 16]
     grid: dict[int, dict[int, float]] = {}
     for window in windows:
@@ -85,11 +85,11 @@ def run(
 
 
 def report(
-    windows: list[int] | None = None,
+    sizes: list[int] | None = None,
     alu_pools: list[int] | None = None,
 ) -> str:
     """The IPC grid as a table."""
-    outcome = run(windows=windows, alu_pools=alu_pools)
+    outcome = run(sizes=sizes, alu_pools=alu_pools)
     table = Table(
         ["window \\ ALUs"] + [str(a) for a in outcome.alu_pools],
         title="E12 — IPC over (window size, shared-ALU pool) "

@@ -59,6 +59,8 @@ class FetchUnit:
         self.trace_cache = trace_cache
         self._pc: int | None = 0 if len(program) else None
         self.fetched_count = 0
+        self.trace_cache_hits = 0
+        self.trace_cache_misses = 0
 
     @property
     def pc(self) -> int | None:
@@ -75,6 +77,14 @@ class FetchUnit:
     def stalled(self) -> bool:
         """True when fetch has stopped (awaiting redirect or program end)."""
         return self._pc is None
+
+    def counters(self) -> dict[str, int]:
+        """Front-end telemetry counters (``fetch.*`` namespace)."""
+        counters = {"fetch.delivered": self.fetched_count}
+        if self.trace_cache is not None:
+            counters["fetch.trace_cache_hits"] = self.trace_cache_hits
+            counters["fetch.trace_cache_misses"] = self.trace_cache_misses
+        return counters
 
     # -- fetch ------------------------------------------------------------
 
@@ -165,9 +175,11 @@ class FetchUnit:
                     break
                 pc_check = next_pc
             if delivered:
+                self.trace_cache_hits += 1
                 return delivered
         # Miss: conventional fetch this cycle, then fill the trace cache
         # with the predicted path for next time.
+        self.trace_cache_misses += 1
         fetched = self._fetch_conventional(width, stop_at_taken=True)
         fill_path = path[: min(len(path), self.trace_cache.trace_length)]
         fill_outcomes = []

@@ -40,6 +40,14 @@ class ClusterCacheStats:
         """Fraction of operations that never reached the shared memory."""
         return self.local_hits / self.total if self.total else 0.0
 
+    def counters(self) -> dict[str, int]:
+        """The stats as telemetry counters (``mem.cluster.*`` namespace)."""
+        return {
+            "mem.cluster.local_hits": self.local_hits,
+            "mem.cluster.shared_accesses": self.shared_accesses,
+            "mem.cluster.invalidations": self.invalidations,
+        }
+
 
 @dataclass
 class ClusteredMemory:
@@ -143,3 +151,8 @@ class ClusteredMemory:
 
     def final_state(self) -> dict[int, int]:
         return dict(self.words)
+
+    def counters(self) -> dict[str, int]:
+        counters = {"mem.requests": self._next_id}
+        counters.update(self.stats.counters())
+        return counters

@@ -61,6 +61,16 @@ class CacheStats:
         """Hit fraction (0 when nothing has completed)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def counters(self) -> dict[str, int]:
+        """The stats as telemetry counters (``mem.cache.*`` namespace)."""
+        return {
+            "mem.cache.hits": self.hits,
+            "mem.cache.misses": self.misses,
+            "mem.cache.writebacks": self.writebacks,
+            "mem.cache.bank_conflict_cycles": self.bank_conflict_cycles,
+            "mem.cache.network_denied_cycles": self.network_denied_cycles,
+        }
+
 
 @dataclass
 class _Line:

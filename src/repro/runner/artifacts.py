@@ -6,7 +6,7 @@ artifacts diff cleanly even when reports are kilobytes), and the only
 non-deterministic fields are the wall times.  Schema::
 
     {
-      "schema": "repro-runner/1",
+      "schema": "repro-runner/2",
       "version": "<repro.__version__>",
       "workers": <int>,                 # --jobs value
       "cache_dir": "<path>" | null,     # null when --no-cache
@@ -26,10 +26,16 @@ non-deterministic fields are the wall times.  Schema::
           "wall_time_s": <float>,
           "output_sha256": "<hex>" | null,
           "output_chars": <int> | null,
-          "error": "<last traceback line>" | null
+          "error": "<last traceback line>" | null,
+          "stats": {"<counter>": <int>, ...} | null
         }, ...
       ]
     }
+
+Schema history: ``repro-runner/2`` added the per-result ``stats``
+object — aggregated telemetry counters (see ``docs/observability.md``)
+collected while the job executed, ``null`` for cache hits and failed
+jobs.  Everything ``repro-runner/1`` defined is unchanged.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ from typing import Any
 from repro._version import __version__
 from repro.runner.metrics import JobResult, summarize
 
-ARTIFACT_SCHEMA = "repro-runner/1"
+ARTIFACT_SCHEMA = "repro-runner/2"
 
 
 def build_artifact(
@@ -71,6 +77,7 @@ def build_artifact(
                 "output_sha256": r.output_sha256,
                 "output_chars": None if r.output is None else len(r.output),
                 "error": r.error_summary or None,
+                "stats": r.stats,
             }
             for r in results
         ],
@@ -89,5 +96,96 @@ def write_artifact(
     if path.parent and not path.parent.exists():
         path.parent.mkdir(parents=True, exist_ok=True)
     document = build_artifact(results, workers=workers, cache_dir=cache_dir)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def validate_artifact(document: Any) -> list[str]:
+    """Return schema problems with a ``repro-runner/2`` artifact.
+
+    An empty list means the document is well formed.  Used by the CI
+    telemetry smoke job, and handy for any downstream consumer that
+    wants to fail fast on a malformed artifact.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["artifact is not a JSON object"]
+    if document.get("schema") != ARTIFACT_SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {ARTIFACT_SCHEMA!r}"
+        )
+    for key in ("version", "workers", "totals", "results"):
+        if key not in document:
+            problems.append(f"missing top-level key {key!r}")
+    results = document.get("results")
+    if not isinstance(results, list):
+        problems.append("results is not a list")
+        return problems
+    for i, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            problems.append(f"results[{i}] is not an object")
+            continue
+        for key in ("experiment", "kwargs", "status", "stats"):
+            if key not in entry:
+                problems.append(f"results[{i}] missing key {key!r}")
+        stats = entry.get("stats")
+        if stats is not None and not (
+            isinstance(stats, dict)
+            and all(
+                isinstance(k, str) and isinstance(v, int)
+                for k, v in stats.items()
+            )
+        ):
+            problems.append(f"results[{i}].stats is not a str->int mapping")
+    return problems
+
+
+def build_run_trace(results: list[JobResult]) -> dict[str, Any]:
+    """Build a Chrome trace-event document from one run's job results.
+
+    Each job becomes a complete ("X") event on the runner timeline:
+    jobs are laid end to end using their wall times (timestamps are
+    cumulative microseconds, not clock readings, so the document is
+    deterministic modulo timing noise), and any collected telemetry
+    counters ride in the event ``args`` for inspection in the viewer.
+    """
+    from repro.telemetry.chrome import build_chrome_trace
+    from repro.telemetry.tracer import TraceEvent
+
+    events = []
+    cursor = 0
+    for r in results:
+        duration_us = max(1, int(round(r.wall_time_s * 1_000_000)))
+        args: dict[str, Any] = {
+            "kwargs": r.kwargs,
+            "status": r.status,
+            "cache_hit": r.cache_hit,
+        }
+        if r.stats:
+            args["stats"] = r.stats
+        events.append(
+            TraceEvent(
+                name=f"{r.experiment}[{r.index + 1}/{r.count}]",
+                cat="job",
+                ts=cursor,
+                dur=duration_us,
+                args=args,
+            )
+        )
+        cursor += duration_us
+    return build_chrome_trace(
+        events,
+        process_name="repro-runner",
+        time_unit="ms",
+        metadata={"jobs": len(results)},
+    )
+
+
+def write_run_trace(path: str | Path, results: list[JobResult]) -> Path:
+    """Write the run's Chrome trace JSON to *path* (parent dirs created)."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    document = build_run_trace(results)
     path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     return path

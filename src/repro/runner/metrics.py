@@ -30,6 +30,9 @@ class JobResult:
     #: compute time recorded when the entry was first produced (equals
     #: ``wall_time_s`` on a miss; the historical cost on a hit)
     compute_time_s: float = field(default=0.0)
+    #: aggregated telemetry counters collected while the job ran (None
+    #: when collection was off or the result came from the cache)
+    stats: dict[str, int] | None = None
 
     @property
     def ok(self) -> bool:

@@ -23,23 +23,37 @@ from repro.runner.metrics import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, JobRe
 from repro.runner.registry import JobSpec
 
 
-def _execute(module: str, func: str, kwargs: dict) -> tuple[str, str, float]:
+def _execute(
+    module: str, func: str, kwargs: dict, collect: bool = False
+) -> tuple[str, str, float, dict[str, int] | None]:
     """Run one job; errors come back as data so the parent can retry.
 
     Runs in worker processes (and inline when ``workers == 1``), so it
-    must stay a picklable top-level function.
+    must stay a picklable top-level function.  With ``collect`` a
+    telemetry session wraps the call: every processor the experiment
+    builds reports to one :class:`~repro.telemetry.tracer.CountingTracer`
+    whose counters ride back with the result (a plain dict, so it
+    pickles across the pool boundary).
     """
     start = perf_counter()
     try:
         fn = getattr(importlib.import_module(module), func)
-        output = fn(**kwargs)
+        if collect:
+            from repro.telemetry.session import collecting
+
+            with collecting() as tracer:
+                output = fn(**kwargs)
+            stats = tracer.snapshot()
+        else:
+            output = fn(**kwargs)
+            stats = None
         if not isinstance(output, str):
             raise TypeError(
                 f"{module}.{func} returned {type(output).__name__}, expected str"
             )
-        return (STATUS_OK, output, perf_counter() - start)
+        return (STATUS_OK, output, perf_counter() - start, stats)
     except Exception:
-        return (STATUS_FAILED, traceback.format_exc(), perf_counter() - start)
+        return (STATUS_FAILED, traceback.format_exc(), perf_counter() - start, None)
 
 
 def _hit_result(job: JobSpec, entry, elapsed: float) -> JobResult:
@@ -59,7 +73,12 @@ def _hit_result(job: JobSpec, entry, elapsed: float) -> JobResult:
 
 
 def _miss_result(
-    job: JobSpec, status: str, payload: str, elapsed: float, attempts: int
+    job: JobSpec,
+    status: str,
+    payload: str,
+    elapsed: float,
+    attempts: int,
+    stats: dict[str, int] | None = None,
 ) -> JobResult:
     ok = status == STATUS_OK
     return JobResult(
@@ -75,15 +94,18 @@ def _miss_result(
         output=payload if ok else None,
         error=None if ok else payload,
         compute_time_s=elapsed if ok else 0.0,
+        stats=stats if ok else None,
     )
 
 
-def _run_inline(job: JobSpec, attempts: int) -> JobResult:
+def _run_inline(job: JobSpec, attempts: int, collect: bool = False) -> JobResult:
     """Execute with retry in this process (the ``--jobs 1`` path)."""
     for attempt in range(1, attempts + 1):
-        status, payload, elapsed = _execute(job.module, job.func, dict(job.kwargs))
+        status, payload, elapsed, stats = _execute(
+            job.module, job.func, dict(job.kwargs), collect
+        )
         if status == STATUS_OK or attempt == attempts:
-            return _miss_result(job, status, payload, elapsed, attempt)
+            return _miss_result(job, status, payload, elapsed, attempt, stats)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -95,6 +117,7 @@ def run_jobs(
     timeout: float | None = None,
     retries: int = 1,
     on_result: Callable[[JobResult], None] | None = None,
+    collect_stats: bool = False,
 ) -> list[JobResult]:
     """Run every job; emit results in job order via ``on_result``.
 
@@ -102,7 +125,10 @@ def run_jobs(
     fully warm run never pays pool start-up.  ``timeout`` bounds each
     wait on a parallel job (the inline path has no watchdog — there is
     no second process to keep the CLI responsive).  Failed jobs are
-    recorded, not raised.
+    recorded, not raised.  ``collect_stats`` turns on telemetry
+    collection for jobs that actually execute; cache hits carry no stats
+    (the cache stores report text only, so its on-disk format — and
+    therefore ``--jobs`` behaviour — is unchanged by collection).
     """
     attempts_allowed = 1 + max(0, retries)
     hits: dict[int, object] = {}
@@ -131,7 +157,7 @@ def run_jobs(
                 entry, elapsed = hits[idx]
                 emit(_hit_result(job, entry, elapsed))
             else:
-                emit(_run_inline(job, attempts_allowed))
+                emit(_run_inline(job, attempts_allowed, collect_stats))
         return results
 
     pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
@@ -141,7 +167,9 @@ def run_jobs(
     def submit(idx: int) -> None:
         job = jobs[idx]
         attempts[idx] = attempts.get(idx, 0) + 1
-        futures[idx] = pool.submit(_execute, job.module, job.func, dict(job.kwargs))
+        futures[idx] = pool.submit(
+            _execute, job.module, job.func, dict(job.kwargs), collect_stats
+        )
 
     try:
         for idx in misses:
@@ -152,8 +180,11 @@ def run_jobs(
                 emit(_hit_result(job, entry, elapsed))
                 continue
             while True:
+                stats = None
                 try:
-                    status, payload, elapsed = futures[idx].result(timeout=timeout)
+                    status, payload, elapsed, stats = futures[idx].result(
+                        timeout=timeout
+                    )
                 except FutureTimeout:
                     futures[idx].cancel()
                     status = STATUS_TIMEOUT
@@ -178,7 +209,11 @@ def run_jobs(
                     )
                     elapsed = 0.0
                 if status == STATUS_OK or attempts[idx] >= attempts_allowed:
-                    emit(_miss_result(job, status, payload, elapsed, attempts[idx]))
+                    emit(
+                        _miss_result(
+                            job, status, payload, elapsed, attempts[idx], stats
+                        )
+                    )
                     break
                 submit(idx)
     finally:

@@ -11,6 +11,7 @@ expands specs into one :class:`JobSpec` per sweep point.
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -29,10 +30,53 @@ class ExperimentSpec:
         return getattr(importlib.import_module(self.module), self.func)
 
     def sweep_points(self) -> list[dict[str, Any]]:
-        """The declared sweep points (kwargs for ``report``), copied."""
+        """The declared sweep points (kwargs for ``report``), copied.
+
+        Every point is validated against the ``report`` signature at
+        declaration-read time, so a typo in ``SWEEP_POINTS`` fails fast
+        with the offending module's name instead of surfacing later as
+        a ``TypeError`` inside a worker process.
+        """
         module = importlib.import_module(self.module)
-        points = getattr(module, "SWEEP_POINTS", [{}])
-        return [dict(point) for point in points]
+        points = [dict(point) for point in getattr(module, "SWEEP_POINTS", [{}])]
+        _validate_sweep_points(self.module, getattr(module, self.func), points)
+        return points
+
+
+class SweepPointError(ValueError):
+    """A SWEEP_POINTS entry does not match its report() signature."""
+
+
+def _validate_sweep_points(
+    module: str, report: Callable[..., str], points: list[dict[str, Any]]
+) -> None:
+    """Reject sweep points whose keys the report function cannot bind.
+
+    Raises :class:`SweepPointError` naming the module and the bad key —
+    the runner surfaces this before any job runs.  A ``**kwargs``
+    catch-all in the signature accepts everything (none of the bundled
+    experiments use one, but custom ones may).
+    """
+    signature = inspect.signature(report)
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    ):
+        return
+    accepted = {
+        name
+        for name, p in signature.parameters.items()
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    for index, point in enumerate(points):
+        unknown = sorted(set(point) - accepted)
+        if unknown:
+            raise SweepPointError(
+                f"{module}: SWEEP_POINTS[{index}] has keyword(s) "
+                f"{', '.join(map(repr, unknown))} not accepted by "
+                f"{report.__name__}({', '.join(sorted(accepted))})"
+            )
 
 
 @dataclass(frozen=True)

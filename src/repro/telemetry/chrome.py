@@ -1,0 +1,115 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto format).
+
+Two producers share this module:
+
+* :class:`~repro.telemetry.tracer.EventTracer` timelines — one complete
+  ("X") event per committed instruction, timestamped in simulated
+  cycles; and
+* the runner's ``--trace PATH`` flag — one complete event per job,
+  timestamped in (cumulative) wall-clock microseconds, with the job's
+  aggregated telemetry counters attached as event ``args``.
+
+The document follows the Trace Event Format's JSON object form:
+``{"traceEvents": [...], "displayTimeUnit": ..., "otherData": {...}}``.
+``otherData.schema`` is ``repro-trace/1`` so artifacts are validatable
+without sniffing event contents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro._version import __version__
+from repro.telemetry.tracer import TraceEvent
+
+TRACE_SCHEMA = "repro-trace/1"
+
+
+def chrome_event(event: TraceEvent, *, pid: int = 0) -> dict[str, Any]:
+    """One :class:`TraceEvent` as a Chrome complete event dict."""
+    return {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": "X",
+        "ts": event.ts,
+        "dur": max(0, event.dur),
+        "pid": pid,
+        "tid": event.tid,
+        "args": dict(event.args),
+    }
+
+
+def build_chrome_trace(
+    events: Iterable[TraceEvent],
+    *,
+    process_name: str = "repro",
+    time_unit: str = "ms",
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the full trace document from *events*."""
+    trace_events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    trace_events.extend(chrome_event(e) for e in events)
+    other: dict[str, Any] = {"schema": TRACE_SCHEMA, "version": __version__}
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": time_unit,
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: Iterable[TraceEvent],
+    *,
+    process_name: str = "repro",
+    time_unit: str = "ms",
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write the trace document to *path* (parent dirs created)."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    document = build_chrome_trace(
+        events, process_name=process_name, time_unit=time_unit, metadata=metadata
+    )
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Schema check for a trace document; returns problem descriptions.
+
+    An empty list means the document is a well-formed ``repro-trace/1``
+    artifact.  Used by tests and the CI smoke job.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["trace document is not a JSON object"]
+    other = document.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        problems.append(f"otherData.schema != {TRACE_SCHEMA!r}")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents is not a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"traceEvents[{index}] is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"traceEvents[{index}] missing {key!r}")
+        if event.get("ph") == "X" and "ts" not in event:
+            problems.append(f"traceEvents[{index}] complete event missing 'ts'")
+    return problems

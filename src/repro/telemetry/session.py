@@ -1,0 +1,52 @@
+"""Process-local tracer session: how counters reach the runner.
+
+Experiments build processors deep inside their ``report()`` functions;
+the runner only sees the returned text.  The session is the side
+channel: :func:`collecting` installs a tracer as the process-wide
+default, and every engine constructed without an explicit ``tracer=``
+argument resolves it via :func:`current_tracer`.  The runner's job
+wrapper (:mod:`repro.runner.pool`) opens one session per job — in the
+worker process when fanned out — and ships the aggregated counters back
+with the job result, where they land in the ``--json`` artifact.
+
+Outside a session :func:`current_tracer` returns the shared
+:data:`~repro.telemetry.tracer.NULL_TRACER`, so the default path stays
+zero-cost and report text stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.tracer import NULL_TRACER, CountingTracer, Tracer
+
+_current: Tracer | None = None
+
+
+def current_tracer() -> Tracer:
+    """The session tracer, or the null tracer when no session is open."""
+    return _current if _current is not None else NULL_TRACER
+
+
+def resolve_tracer(tracer: Tracer | None) -> Tracer:
+    """An engine's tracer: the explicit argument, else the session's."""
+    return tracer if tracer is not None else current_tracer()
+
+
+@contextmanager
+def collecting(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install *tracer* (default: a fresh :class:`CountingTracer`) as the
+    process-wide default for the duration of the block.
+
+    Sessions nest: the innermost tracer wins, and the previous one is
+    restored on exit.
+    """
+    global _current
+    active = tracer if tracer is not None else CountingTracer()
+    previous = _current
+    _current = active
+    try:
+        yield active
+    finally:
+        _current = previous

@@ -48,6 +48,10 @@ class MemorySystem(Protocol):
         """All written words, flushed (for golden-model comparison)."""
         ...
 
+    def counters(self) -> dict[str, int]:
+        """Telemetry counters (``mem.*`` namespace) for run statistics."""
+        ...
+
 
 @dataclass
 class IdealMemory:
@@ -108,6 +112,9 @@ class IdealMemory:
     def final_state(self) -> dict[int, int]:
         return dict(self.words)
 
+    def counters(self) -> dict[str, int]:
+        return {"mem.requests": self._next_id}
+
 
 class CachedMemory:
     """Interleaved cache + fat-tree admission behind the protocol."""
@@ -155,3 +162,8 @@ class CachedMemory:
     def final_state(self) -> dict[int, int]:
         self.cache.flush()
         return {a: v for a, v in self.cache.memory.snapshot().items()}
+
+    def counters(self) -> dict[str, int]:
+        counters = {"mem.requests": self._next_id}
+        counters.update(self.cache.stats.counters())
+        return counters

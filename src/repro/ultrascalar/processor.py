@@ -98,6 +98,9 @@ class ProcessorResult:
     #: loads satisfied by store-forwarding (memory renaming) instead of
     #: the memory system
     forwarded_loads: int = 0
+    #: aggregated telemetry counters (empty under the default NullTracer;
+    #: see docs/observability.md for the counter vocabulary)
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def instructions_committed(self) -> int:
@@ -141,6 +144,7 @@ def make_ultrascalar1(
     predictor: BranchPredictor | None = None,
     memory: MemorySystem | None = None,
     initial_registers: list[int] | None = None,
+    tracer=None,
 ):
     """Build an Ultrascalar I: wrap-around ring, per-station refill."""
     from repro.ultrascalar.ring import RingProcessor
@@ -152,6 +156,7 @@ def make_ultrascalar1(
         memory=memory if memory is not None else IdealMemory(),
         cluster_size=1,
         initial_registers=initial_registers,
+        tracer=tracer,
     )
 
 
@@ -162,6 +167,7 @@ def make_hybrid(
     predictor: BranchPredictor | None = None,
     memory: MemorySystem | None = None,
     initial_registers: list[int] | None = None,
+    tracer=None,
 ):
     """Build a hybrid Ultrascalar: Ultrascalar II clusters on an
     Ultrascalar I ring; stations refill a cluster at a time."""
@@ -174,6 +180,7 @@ def make_hybrid(
         memory=memory if memory is not None else IdealMemory(),
         cluster_size=cluster_size,
         initial_registers=initial_registers,
+        tracer=tracer,
     )
 
 
@@ -183,6 +190,7 @@ def make_ultrascalar2(
     predictor: BranchPredictor | None = None,
     memory: MemorySystem | None = None,
     initial_registers: list[int] | None = None,
+    tracer=None,
 ):
     """Build an Ultrascalar II: no wrap-around; the station batch refills
     only when every station in it has finished."""
@@ -194,4 +202,5 @@ def make_ultrascalar2(
         predictor=predictor if predictor is not None else _default_predictor(program),
         memory=memory if memory is not None else IdealMemory(),
         initial_registers=initial_registers,
+        tracer=tracer,
     )

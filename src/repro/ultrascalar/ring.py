@@ -35,10 +35,12 @@ from repro.frontend.fetch import FetchUnit
 from repro.isa.interpreter import StepOutcome, alu_result, branch_taken
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
+from repro.telemetry.session import resolve_tracer
+from repro.telemetry.tracer import Tracer
 from repro.ultrascalar.memsys import MemorySystem
 from repro.ultrascalar.processor import ProcessorConfig, ProcessorResult, TimingRecord
 from repro.ultrascalar.station import Station, StationState
-from repro.util.bitops import to_unsigned
+from repro.util.bitops import to_unsigned, tree_level_distance
 
 
 @dataclass
@@ -67,6 +69,7 @@ class RingProcessor:
         cluster_size: int = 1,
         initial_registers: list[int] | None = None,
         fetch_unit: FetchUnit | None = None,
+        tracer: Tracer | None = None,
     ):
         if cluster_size < 1 or config.window_size % cluster_size:
             raise ValueError("cluster_size must divide the window size")
@@ -84,6 +87,9 @@ class RingProcessor:
         if len(self.committed_regs) != self.L:
             raise ValueError("initial register file has wrong size")
 
+        self.tracer = resolve_tracer(tracer)
+        self._tracing = self.tracer.enabled
+        self._refill_mode = "per_station" if cluster_size == 1 else "per_cluster"
         self.fetch = fetch_unit or FetchUnit(program, predictor, width=config.fetch_width)
         self.cycle = 0
         self.seq = 0
@@ -134,8 +140,16 @@ class RingProcessor:
         free_positions = order[occupied:]
         budget = min(self.config.fetch_width, len(free_positions))
         if budget == 0 or self.fetch.stalled():
+            if self._tracing:
+                if self.fetch.stalled():
+                    self.tracer.count("fetch.stall_cycles.starved")
+                else:
+                    self.tracer.count("fetch.stall_cycles.window_full")
             return
         fetched = self.fetch.fetch_cycle(budget=budget)
+        if self._tracing and fetched:
+            self.tracer.count("fetch.cycles_active")
+            self.tracer.count("fetch.instructions", len(fetched))
         for fetched_inst, pos in zip(fetched, free_positions):
             self.stations[pos].load(fetched_inst, self.seq, self.cycle)
             self.seq += 1
@@ -147,7 +161,7 @@ class RingProcessor:
         station's insertion; each station then overlays its own write
         (ready iff DONE).
         """
-        track_writers = self.config.self_timed
+        track_writers = self.config.self_timed or self._tracing
         values = list(self.committed_regs)
         ready = [True] * self.L
         writers: list[Station | None] = [None] * self.L
@@ -183,19 +197,15 @@ class RingProcessor:
         """
         if not self.config.self_timed:
             return 1
-        p, c = producer_pos, consumer_pos
-        level = 0
-        while p != c:
-            p //= 4
-            c //= 4
-            level += 1
-        return max(1, level)
+        return max(1, tree_level_distance(producer_pos, consumer_pos))
 
     def _source_ready(self, view: _RegView, reg: int, consumer: Station) -> bool:
         """Is register *reg* usable by *consumer* this cycle?"""
         if not view.ready[reg]:
             return False
-        if view.writers is None:
+        # Writers may be tracked for telemetry alone; only the self-timed
+        # mode charges distance-dependent latency.
+        if view.writers is None or not self.config.self_timed:
             return True
         writer = view.writers[reg]
         if writer is not None:
@@ -330,15 +340,21 @@ class RingProcessor:
             ],
         )
 
+        issued = 0
         for idx, station in enumerate(occupied):
             if not candidates[idx]:
                 continue
             inst = station.fetched.instruction
             if not inst.is_memory and not alu_ok[idx]:
+                if self._tracing:
+                    self.tracer.count("issue.alu_denied")
                 continue  # no free ALU this cycle; retry next cycle
             operands = ready_operands[idx]
             station.operands = operands
             station.issue_cycle = self.cycle
+            issued += 1
+            if self._tracing:
+                self._trace_issue(station, views[idx], inst)
             if inst.is_load:
                 station.address = to_unsigned(operands[0] + inst.imm)
                 forwarder = (
@@ -349,6 +365,8 @@ class RingProcessor:
                 if forwarder is not None:
                     # memory renaming: take the store's data directly
                     self.forwarded_loads += 1
+                    if self._tracing:
+                        self.tracer.count("mem.store_forward_hits")
                     station.result = forwarder.operands[1]
                     station.state = StationState.EXECUTING
                     station.remaining = 1
@@ -366,6 +384,30 @@ class RingProcessor:
             else:
                 station.state = StationState.EXECUTING
                 station.remaining = self.config.latencies.latency_of(inst.op)
+        if self._tracing and issued:
+            self.tracer.count("issue.cycles_active")
+            self.tracer.count("issue.instructions", issued)
+
+    def _trace_issue(self, station: Station, view: _RegView, inst) -> None:
+        """Record forwarding provenance and memory traffic for one issue."""
+        for reg in (inst.rs1, inst.rs2):
+            if reg is None:
+                continue
+            writer = view.writers[reg] if view.writers is not None else None
+            if writer is not None:
+                hops = tree_level_distance(writer.index, station.index)
+                self.tracer.count("forward.from_station")
+                self.tracer.count(f"forward.hops.{hops}")
+                self.tracer.count(
+                    "forward.latency_cycles",
+                    self._forward_latency(writer.index, station.index),
+                )
+            else:
+                self.tracer.count("forward.from_regfile")
+        if inst.is_load:
+            self.tracer.count("mem.loads")
+        elif inst.is_store:
+            self.tracer.count("mem.stores")
 
     def _phase_execute(self, occupied: list[Station]) -> None:
         """Advance functional units; resolve branches; handle squashes."""
@@ -493,6 +535,19 @@ class RingProcessor:
             if inst.is_halt:
                 self.halted = True
             station.committed = True
+            if self._tracing:
+                self.tracer.count("commit.instructions")
+                self.tracer.event(
+                    str(inst),
+                    cat="instruction",
+                    ts=station.issue_cycle,
+                    dur=station.complete_cycle - station.issue_cycle + 1,
+                    tid=station.index,
+                    seq=station.seq,
+                    static_index=station.fetched.static_index,
+                    fetch_cycle=station.fetch_cycle,
+                    commit_cycle=self.cycle,
+                )
 
         # Deallocate leading fully-committed clusters.  `oldest` is always
         # cluster-aligned: the initial fill starts at position 0 and
@@ -507,6 +562,9 @@ class RingProcessor:
             for s in members:
                 s.clear()
             self.oldest = (self.oldest + self.cluster_size) % self.n
+            if self._tracing:
+                self.tracer.count(f"fetch.refills.{self._refill_mode}")
+                self.tracer.count("fetch.refilled_stations", self.cluster_size)
 
     # ------------------------------------------------------------------
     # driving
@@ -516,6 +574,9 @@ class RingProcessor:
         """Advance the processor one clock cycle."""
         self._phase_fetch()
         occupied = self._occupied_in_order()
+        if self._tracing:
+            self.tracer.count("cycles")
+            self.tracer.count("commit.window_occupancy", len(occupied))
         views = self._register_views(occupied)
         self._phase_issue(occupied, views)
         self._phase_execute(occupied)
@@ -532,6 +593,15 @@ class RingProcessor:
             if self.cycle >= self.config.max_cycles:
                 raise RuntimeError(f"exceeded max_cycles={self.config.max_cycles}")
             self.step()
+        if self._tracing:
+            self.tracer.count("commit.squashed", self.squashed)
+            self.tracer.count("commit.mispredictions", self.mispredictions)
+            memory_counters = getattr(self.memory, "counters", None)
+            if memory_counters is not None:
+                for name, value in memory_counters().items():
+                    self.tracer.count(name, value)
+            for name, value in self.fetch.counters().items():
+                self.tracer.count(name, value)
         return ProcessorResult(
             cycles=self.cycle,
             committed=self.committed,
@@ -542,4 +612,5 @@ class RingProcessor:
             squashed=self.squashed,
             mispredictions=self.mispredictions,
             forwarded_loads=self.forwarded_loads,
+            stats=self.tracer.snapshot(),
         )

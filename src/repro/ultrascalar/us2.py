@@ -26,11 +26,13 @@ from repro.frontend.fetch import FetchUnit
 from repro.isa.interpreter import StepOutcome, alu_result, branch_taken
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
+from repro.telemetry.session import resolve_tracer
+from repro.telemetry.tracer import Tracer
 from repro.ultrascalar.memsys import MemorySystem
 from repro.ultrascalar.processor import ProcessorConfig, ProcessorResult, TimingRecord
 from repro.ultrascalar.ring import _RegView
 from repro.ultrascalar.station import Station, StationState
-from repro.util.bitops import to_unsigned
+from repro.util.bitops import to_unsigned, tree_level_distance
 
 
 class BatchProcessor:
@@ -44,6 +46,7 @@ class BatchProcessor:
         memory: MemorySystem,
         initial_registers: list[int] | None = None,
         fetch_unit: FetchUnit | None = None,
+        tracer: Tracer | None = None,
     ):
         self.program = program
         self.config = config
@@ -56,6 +59,8 @@ class BatchProcessor:
         if len(self.registers) != self.L:
             raise ValueError("initial register file has wrong size")
 
+        self.tracer = resolve_tracer(tracer)
+        self._tracing = self.tracer.enabled
         self.fetch = fetch_unit or FetchUnit(program, predictor, width=config.fetch_width)
         self.batch: list[Station] = []
         self.batch_closed = False  # HALT fetched into this batch
@@ -74,11 +79,22 @@ class BatchProcessor:
 
     def _phase_fetch(self) -> None:
         if self.batch_closed or self.fetch.stalled():
+            if self._tracing:
+                if self.fetch.stalled():
+                    self.tracer.count("fetch.stall_cycles.starved")
+                else:
+                    self.tracer.count("fetch.stall_cycles.window_full")
             return
         budget = min(self.config.fetch_width, self.n - len(self.batch))
         if budget <= 0:
+            if self._tracing:
+                self.tracer.count("fetch.stall_cycles.window_full")
             return
-        for fetched in self.fetch.fetch_cycle(budget=budget):
+        fetched_cycle = self.fetch.fetch_cycle(budget=budget)
+        if self._tracing and fetched_cycle:
+            self.tracer.count("fetch.cycles_active")
+            self.tracer.count("fetch.instructions", len(fetched_cycle))
+        for fetched in fetched_cycle:
             station = Station(len(self.batch))
             station.load(fetched, self.seq, self.cycle)
             self.seq += 1
@@ -88,11 +104,19 @@ class BatchProcessor:
 
     def _register_views(self) -> list[_RegView]:
         """Each station's view: the grid network's routed arguments."""
+        track_writers = self._tracing
         values = list(self.registers)
         ready = [True] * self.L
+        writers: list[Station | None] = [None] * self.L
         views: list[_RegView] = []
         for station in self.batch:
-            views.append(_RegView(values=list(values), ready=list(ready)))
+            views.append(
+                _RegView(
+                    values=list(values),
+                    ready=list(ready),
+                    writers=list(writers) if track_writers else None,
+                )
+            )
             reg = station.writes_register
             if reg is not None:
                 if station.done and station.result is not None:
@@ -101,6 +125,8 @@ class BatchProcessor:
                 else:
                     values[reg] = 0
                     ready[reg] = False
+                if track_writers:
+                    writers[reg] = station
         return views
 
     def _ordering_conditions(self) -> tuple[list[bool], list[bool], list[bool]]:
@@ -119,8 +145,27 @@ class BatchProcessor:
             segmented_scan(branch_ok, no_segments, and_op, True),
         )
 
+    def _trace_issue(self, station: Station, view: _RegView, inst) -> None:
+        """Record forwarding provenance and memory traffic for one issue."""
+        for reg in (inst.rs1, inst.rs2):
+            if reg is None:
+                continue
+            writer = view.writers[reg] if view.writers is not None else None
+            if writer is not None:
+                hops = tree_level_distance(writer.index, station.index)
+                self.tracer.count("forward.from_station")
+                self.tracer.count(f"forward.hops.{hops}")
+                self.tracer.count("forward.latency_cycles")
+            else:
+                self.tracer.count("forward.from_regfile")
+        if inst.is_load:
+            self.tracer.count("mem.loads")
+        elif inst.is_store:
+            self.tracer.count("mem.stores")
+
     def _phase_issue(self, views: list[_RegView]) -> None:
         stores_done, mem_done, branches_resolved = self._ordering_conditions()
+        issued = 0
         for idx, station in enumerate(self.batch):
             if station.state is not StationState.WAITING:
                 continue
@@ -143,6 +188,9 @@ class BatchProcessor:
                 continue
             station.operands = tuple(operands)
             station.issue_cycle = self.cycle
+            issued += 1
+            if self._tracing:
+                self._trace_issue(station, view, inst)
             if inst.is_load:
                 station.address = to_unsigned(operands[0] + inst.imm)
                 station.memory_request_id = self.memory.submit_load(
@@ -158,6 +206,9 @@ class BatchProcessor:
             else:
                 station.state = StationState.EXECUTING
                 station.remaining = self.config.latencies.latency_of(inst.op)
+        if self._tracing and issued:
+            self.tracer.count("issue.cycles_active")
+            self.tracer.count("issue.instructions", issued)
 
     def _phase_execute(self) -> None:
         for station in list(self.batch):
@@ -261,11 +312,27 @@ class BatchProcessor:
             if inst.is_halt:
                 self.halted = True
             self.commit_index += 1
+            if self._tracing:
+                self.tracer.count("commit.instructions")
+                self.tracer.event(
+                    str(inst),
+                    cat="instruction",
+                    ts=station.issue_cycle,
+                    dur=station.complete_cycle - station.issue_cycle + 1,
+                    tid=station.index,
+                    seq=station.seq,
+                    static_index=station.fetched.static_index,
+                    fetch_cycle=station.fetch_cycle,
+                    commit_cycle=self.cycle,
+                )
 
         # Batch recycles only when completely done AND it cannot grow.
         batch_full = len(self.batch) >= self.n
         no_more = self.fetch.stalled() or self.batch_closed
         if self.batch and self.commit_index == len(self.batch) and (batch_full or no_more):
+            if self._tracing:
+                self.tracer.count("fetch.refills.whole_batch")
+                self.tracer.count("fetch.refilled_stations", len(self.batch))
             self.batch = []
             self.commit_index = 0
             self.batch_closed = False
@@ -276,6 +343,9 @@ class BatchProcessor:
     def step(self) -> None:
         """Advance one clock cycle."""
         self._phase_fetch()
+        if self._tracing:
+            self.tracer.count("cycles")
+            self.tracer.count("commit.window_occupancy", len(self.batch))
         views = self._register_views()
         self._phase_issue(views)
         self._phase_execute()
@@ -292,6 +362,15 @@ class BatchProcessor:
             if self.cycle >= self.config.max_cycles:
                 raise RuntimeError(f"exceeded max_cycles={self.config.max_cycles}")
             self.step()
+        if self._tracing:
+            self.tracer.count("commit.squashed", self.squashed)
+            self.tracer.count("commit.mispredictions", self.mispredictions)
+            memory_counters = getattr(self.memory, "counters", None)
+            if memory_counters is not None:
+                for name, value in memory_counters().items():
+                    self.tracer.count(name, value)
+            for name, value in self.fetch.counters().items():
+                self.tracer.count(name, value)
         return ProcessorResult(
             cycles=self.cycle,
             committed=self.committed,
@@ -301,4 +380,5 @@ class BatchProcessor:
             halted=self.halted,
             squashed=self.squashed,
             mispredictions=self.mispredictions,
+            stats=self.tracer.snapshot(),
         )

@@ -19,13 +19,15 @@ registers, and per-instruction issue times as :class:`RingProcessor`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.isa.latency import LatencyModel
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
+from repro.telemetry.session import resolve_tracer
+from repro.telemetry.tracer import Tracer
 from repro.util.bitops import WORD_MASK
 
 _SUPPORTED = {
@@ -49,6 +51,8 @@ class VectorResult:
     registers: list[int]
     issue_cycles: list[int]
     complete_cycles: list[int]
+    #: aggregated telemetry counters (empty under the default NullTracer)
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -73,6 +77,7 @@ class VectorRingEngine:
         fetch_width: int,
         latencies: LatencyModel | None = None,
         initial_registers: list[int] | None = None,
+        tracer: Tracer | None = None,
     ):
         if window_size < 1 or fetch_width < 1:
             raise ValueError("window and fetch width must be positive")
@@ -83,6 +88,8 @@ class VectorRingEngine:
                     f"(instruction {index}); use RingProcessor"
                 )
         self.program = program
+        self.tracer = resolve_tracer(tracer)
+        self._tracing = self.tracer.enabled
         self.n = window_size
         self.fetch_width = fetch_width
         self.latencies = latencies or LatencyModel()
@@ -182,14 +189,22 @@ class VectorRingEngine:
             )
             free = order[occupied_count:]
             budget = min(self.fetch_width, len(free), self.m - self.next_fetch)
+            loaded = 0
             for k in range(budget):
                 pos = free[k]
                 idx = self.next_fetch
                 self.state[pos] = _WAITING
                 self.seq[pos] = idx
                 self.next_fetch += 1
+                loaded += 1
                 if self.s_is_halt[idx]:
                     break
+            if self._tracing:
+                if loaded:
+                    self.tracer.count("fetch.cycles_active")
+                    self.tracer.count("fetch.instructions", loaded)
+                elif budget == 0 and self.next_fetch < self.m:
+                    self.tracer.count("fetch.stall_cycles.window_full")
 
         # -- view + issue -------------------------------------------------
         order = (self.oldest + np.arange(n)) % n
@@ -231,6 +246,9 @@ class VectorRingEngine:
         v1, r1 = source_view(rs1_ord)
         v2, r2 = source_view(rs2_ord)
 
+        if self._tracing:
+            self.tracer.count("cycles")
+            self.tracer.count("commit.window_occupancy", int(occ.sum()))
         waiting = self.state[order] == _WAITING
         can_issue = waiting & r1 & r2
         if can_issue.any():
@@ -243,6 +261,9 @@ class VectorRingEngine:
             self.result[positions] = self._compute(
                 self.s_op[seqs], v1[can_issue], v2[can_issue], self.s_imm[seqs]
             )
+            if self._tracing:
+                self.tracer.count("issue.cycles_active")
+                self.tracer.count("issue.instructions", int(can_issue.sum()))
 
         # -- execute countdown -------------------------------------------
         executing = self.state == _EXECUTING
@@ -269,6 +290,10 @@ class VectorRingEngine:
             self.seq[positions] = -1
             self.oldest = (self.oldest + commits) % n
             self.committed_count += commits
+            if self._tracing:
+                self.tracer.count("commit.instructions", commits)
+                self.tracer.count("fetch.refills.per_station", commits)
+                self.tracer.count("fetch.refilled_stations", commits)
 
         self.cycle += 1
 
@@ -283,4 +308,5 @@ class VectorRingEngine:
             registers=[int(v) for v in self.committed_regs],
             issue_cycles=self.issue_cycles[: self.committed_count].tolist(),
             complete_cycles=self.complete_cycles[: self.committed_count].tolist(),
+            stats=self.tracer.snapshot(),
         )

@@ -128,12 +128,14 @@ class TestDocstringContract:
 
         missing = []
         # overrides whose contract is documented once, on the protocol or
-        # base class (BranchPredictor, MemorySystem, ScanOp)
+        # base class (BranchPredictor, MemorySystem, ScanOp, Tracer)
         interface_methods = {
             "predict", "update", "reset",                      # BranchPredictor
             "submit_load", "submit_store", "tick",             # MemorySystem
             "peek_word", "load_image", "final_state",
+            "counters",
             "combine",                                         # ScanOp
+            "count", "event", "snapshot",                      # Tracer
         }
 
         def check_scope(path, body, prefix=""):

@@ -54,13 +54,14 @@ class TestRunnerCli:
         cache = str(tmp_path / "c")
         assert main(["fig12", "--cache-dir", cache, "--json", str(artifact)]) == 0
         data = json.loads(artifact.read_text(encoding="utf-8"))
-        assert data["schema"] == "repro-runner/1"
+        assert data["schema"] == "repro-runner/2"
         [result] = data["results"]
         assert result["experiment"] == "fig12" and result["status"] == "ok"
         assert result["cache_hit"] is False
         assert main(["fig12", "--cache-dir", cache, "--json", str(artifact)]) == 0
         [warm] = json.loads(artifact.read_text(encoding="utf-8"))["results"]
         assert warm["cache_hit"] is True
+        assert warm["stats"] is None  # hits replay text; no counters
         assert warm["output_sha256"] == result["output_sha256"]
 
     def test_no_cache_writes_nothing(self, capsys, tmp_path):
@@ -70,6 +71,50 @@ class TestRunnerCli:
 
     def test_unknown_flag_exits_2(self, capsys):
         assert main(["fig12", "--bogus"]) == 2
+
+    def test_detailed_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered experiments:" in out
+        assert "repro.experiments.fig3_timing" in out
+        assert "sweep point(s):" in out
+
+    def test_unknown_experiment_suggests_close_matches(self, capsys):
+        assert main(["figg3"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fig3" in err
+
+    def test_json_artifact_carries_stats(self, capsys, tmp_path):
+        artifact = tmp_path / "run.json"
+        assert main(["fig3", "--no-cache", "--json", str(artifact)]) == 0
+        [result] = json.loads(artifact.read_text(encoding="utf-8"))["results"]
+        stats = result["stats"]
+        assert stats and stats["commit.instructions"] > 0
+        from repro.runner.artifacts import validate_artifact
+
+        assert validate_artifact(json.loads(artifact.read_text(encoding="utf-8"))) == []
+
+    def test_trace_flag_writes_valid_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        assert main(["fig3", "--no-cache", "--trace", str(trace)]) == 0
+        from repro.telemetry.chrome import validate_chrome_trace
+
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(document) == []
+        jobs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert jobs and jobs[0]["name"].startswith("fig3")
+        assert "stats" in jobs[0]["args"]
+
+    def test_sweep_point_validation_names_offender(self, monkeypatch):
+        from repro.runner import _selftest
+        from repro.runner.registry import ExperimentSpec, SweepPointError
+
+        monkeypatch.setattr(
+            _selftest, "SWEEP_POINTS", [{"bogus_kw": 1}], raising=False
+        )
+        spec = ExperimentSpec("st", "selftest", "repro.runner._selftest", "ok")
+        with pytest.raises(SweepPointError, match="repro.runner._selftest.*bogus_kw"):
+            spec.sweep_points()
 
     def test_all_isolates_failures_and_returns_nonzero(self, capsys, monkeypatch):
         import repro.__main__ as cli

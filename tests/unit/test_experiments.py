@@ -64,7 +64,7 @@ class TestFig12:
 
 class TestCrossover:
     def test_structure(self):
-        outcome = crossover.run(L_values=[8, 16], n_values=[16, 256, 4096], big_n=16384)
+        outcome = crossover.run(L_values=[8, 16], sizes=[16, 256, 4096], n=16384)
         assert set(outcome.crossovers) == {8, 16}
         assert outcome.crossover_tracks_L_squared()
 

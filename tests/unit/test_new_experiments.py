@@ -14,7 +14,7 @@ from repro.experiments import (
 class TestWindowVsIssue:
     @pytest.fixture(scope="class")
     def outcome(self):
-        return window_vs_issue.run(windows=[4, 16], alu_pools=[1, 4])
+        return window_vs_issue.run(sizes=[4, 16], alu_pools=[1, 4])
 
     def test_monotone_both_axes(self, outcome):
         assert outcome.monotone_in_window()
@@ -30,7 +30,7 @@ class TestWindowVsIssue:
 class TestDominanceMap:
     @pytest.fixture(scope="class")
     def outcome(self):
-        return dominance_map.run(n_values=[16, 256, 4096], L_values=[8, 64])
+        return dominance_map.run(sizes=[16, 256, 4096], L_values=[8, 64])
 
     def test_incomparability(self, outcome):
         assert outcome.us1_wins_somewhere()
@@ -52,7 +52,7 @@ class TestDominanceMap:
 class TestPerformanceProjection:
     @pytest.fixture(scope="class")
     def outcome(self):
-        return performance_projection.run(windows=[16, 256])
+        return performance_projection.run(sizes=[16, 256])
 
     def test_conventional_collapses(self, outcome):
         perf = [row.conventional_performance for row in outcome.rows]
@@ -71,7 +71,7 @@ class TestPerformanceProjection:
 class TestIlpLimits:
     @pytest.fixture(scope="class")
     def outcome(self):
-        return ilp_limits.run(densities=[0.2, 0.8], windows=[8, 64, 512], instructions=1500)
+        return ilp_limits.run(densities=[0.2, 0.8], sizes=[8, 64, 512], instructions=1500)
 
     def test_curves_monotone(self, outcome):
         assert all(curve.monotone() for curve in outcome.curves)
