@@ -6,6 +6,8 @@ Usage::
     python -m repro fig3                 # one experiment's table(s)
     python -m repro all                  # everything
     python -m repro all --jobs 4         # fan out across worker processes
+    python -m repro verify               # differential fuzz of all designs
+                                         # (see `python -m repro verify -h`)
 
 Options::
 
@@ -108,6 +110,11 @@ def _unknown_experiment_message(name: str) -> str:
 def main(argv: list[str] | None = None) -> int:
     """Dispatch one experiment (or ``all``); returns a process exit code."""
     args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "verify":
+        # the verify subcommand owns its own option surface
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(args[1:])
     try:
         opts = _build_parser().parse_args(args)
     except SystemExit as exc:

@@ -110,11 +110,14 @@ class Processor:
         memory: MemorySystem | None = None,
         predictor=None,
         initial_registers: list[int] | None = None,
+        cycle_hook=None,
     ) -> ProcessorResult:
         """Execute *program* to completion and return the result.
 
         ``tracer`` attaches a telemetry sink for this run (counters land
-        in ``ProcessorResult.stats``); the remaining keywords override
+        in ``ProcessorResult.stats``); ``cycle_hook`` attaches a
+        per-cycle observer — typically an invariant checker from
+        :mod:`repro.verify.invariants`; the remaining keywords override
         the factory defaults (ideal memory, perfect prediction, zeroed
         registers).
         """
@@ -124,6 +127,7 @@ class Processor:
             memory=memory,
             initial_registers=initial_registers,
             tracer=tracer,
+            cycle_hook=cycle_hook,
         )
         if self.kind == "us1":
             engine = make_ultrascalar1(program, **common)
@@ -163,6 +167,7 @@ def run(
     memory: MemorySystem | None = None,
     predictor=None,
     initial_registers: list[int] | None = None,
+    cycle_hook=None,
 ) -> ProcessorResult:
     """One-shot convenience: build the processor and run *program*."""
     return build_processor(kind, config, cluster_size=cluster_size).run(
@@ -171,4 +176,5 @@ def run(
         memory=memory,
         predictor=predictor,
         initial_registers=initial_registers,
+        cycle_hook=cycle_hook,
     )

@@ -21,7 +21,6 @@ from repro.analysis.clock_period import (
     project_ultrascalar2,
 )
 from repro.baseline.complexity import conventional_superscalar_delay
-from repro.ultrascalar import ProcessorConfig
 from repro.ultrascalar.vector_engine import VectorRingEngine
 from repro.util.tables import Table
 from repro.workloads import Workload, random_ilp

@@ -30,6 +30,7 @@ from repro.telemetry.tracer import (
     NullTracer,
     TraceEvent,
     Tracer,
+    diff_counters,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "NullTracer",
     "TraceEvent",
     "Tracer",
+    "diff_counters",
 ]

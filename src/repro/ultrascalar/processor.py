@@ -145,6 +145,7 @@ def make_ultrascalar1(
     memory: MemorySystem | None = None,
     initial_registers: list[int] | None = None,
     tracer=None,
+    cycle_hook=None,
 ):
     """Build an Ultrascalar I: wrap-around ring, per-station refill."""
     from repro.ultrascalar.ring import RingProcessor
@@ -157,6 +158,7 @@ def make_ultrascalar1(
         cluster_size=1,
         initial_registers=initial_registers,
         tracer=tracer,
+        cycle_hook=cycle_hook,
     )
 
 
@@ -168,6 +170,7 @@ def make_hybrid(
     memory: MemorySystem | None = None,
     initial_registers: list[int] | None = None,
     tracer=None,
+    cycle_hook=None,
 ):
     """Build a hybrid Ultrascalar: Ultrascalar II clusters on an
     Ultrascalar I ring; stations refill a cluster at a time."""
@@ -181,6 +184,7 @@ def make_hybrid(
         cluster_size=cluster_size,
         initial_registers=initial_registers,
         tracer=tracer,
+        cycle_hook=cycle_hook,
     )
 
 
@@ -191,6 +195,7 @@ def make_ultrascalar2(
     memory: MemorySystem | None = None,
     initial_registers: list[int] | None = None,
     tracer=None,
+    cycle_hook=None,
 ):
     """Build an Ultrascalar II: no wrap-around; the station batch refills
     only when every station in it has finished."""
@@ -203,4 +208,5 @@ def make_ultrascalar2(
         memory=memory if memory is not None else IdealMemory(),
         initial_registers=initial_registers,
         tracer=tracer,
+        cycle_hook=cycle_hook,
     )

@@ -70,6 +70,7 @@ class RingProcessor:
         initial_registers: list[int] | None = None,
         fetch_unit: FetchUnit | None = None,
         tracer: Tracer | None = None,
+        cycle_hook=None,
     ):
         if cluster_size < 1 or config.window_size % cluster_size:
             raise ValueError("cluster_size must divide the window size")
@@ -89,6 +90,9 @@ class RingProcessor:
 
         self.tracer = resolve_tracer(tracer)
         self._tracing = self.tracer.enabled
+        # opt-in per-cycle observer (see repro.verify.invariants); None in
+        # normal runs, so the only cost is one attribute test per cycle
+        self._cycle_hook = cycle_hook
         self._refill_mode = "per_station" if cluster_size == 1 else "per_cluster"
         self.fetch = fetch_unit or FetchUnit(program, predictor, width=config.fetch_width)
         self.cycle = 0
@@ -582,6 +586,8 @@ class RingProcessor:
         self._phase_execute(occupied)
         self._phase_memory(self._occupied_in_order())
         self._phase_commit()
+        if self._cycle_hook is not None:
+            self._cycle_hook(self)
         self.cycle += 1
 
     def _idle(self) -> bool:

@@ -47,6 +47,7 @@ class BatchProcessor:
         initial_registers: list[int] | None = None,
         fetch_unit: FetchUnit | None = None,
         tracer: Tracer | None = None,
+        cycle_hook=None,
     ):
         self.program = program
         self.config = config
@@ -61,6 +62,9 @@ class BatchProcessor:
 
         self.tracer = resolve_tracer(tracer)
         self._tracing = self.tracer.enabled
+        # opt-in per-cycle observer (see repro.verify.invariants); None in
+        # normal runs, so the only cost is one attribute test per cycle
+        self._cycle_hook = cycle_hook
         self.fetch = fetch_unit or FetchUnit(program, predictor, width=config.fetch_width)
         self.batch: list[Station] = []
         self.batch_closed = False  # HALT fetched into this batch
@@ -351,6 +355,8 @@ class BatchProcessor:
         self._phase_execute()
         self._phase_memory()
         self._phase_commit()
+        if self._cycle_hook is not None:
+            self._cycle_hook(self)
         self.cycle += 1
 
     def _idle(self) -> bool:

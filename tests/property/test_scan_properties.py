@@ -18,7 +18,6 @@ from repro.circuits.grid import GridNetwork, RegisterBinding, TreeGridNetwork, r
 from repro.circuits.mux_ring import MuxRing
 from repro.circuits.netlist import Netlist
 from repro.circuits.prefix import (
-    AndOp,
     CopyOp,
     assign_scan_inputs,
     build_linear_scan,

@@ -149,7 +149,7 @@ class TestTimingDiagram:
     def test_diagram_bars_align_with_issue_cycles(self):
         result = self.run_paper()
         lines = result.timing_diagram().splitlines()
-        div_line = next(l for l in lines if l.startswith("div"))
+        div_line = next(ln for ln in lines if ln.startswith("div"))
         bar = div_line.split("|")[1]
         assert bar.startswith("#")       # issues at cycle 0
         assert bar.count("#") == 10      # ten cycles of divide

@@ -1,7 +1,6 @@
 """Unit tests for the experiment drivers (structure and invariants;
 the quantitative assertions live in benchmarks/)."""
 
-import pytest
 
 from repro.experiments import (
     cluster_sweep,

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 import repro.runner.cache as cache_module
 from repro.runner.artifacts import ARTIFACT_SCHEMA, build_artifact, write_artifact
@@ -235,9 +234,11 @@ class TestMetricsAndArtifacts:
         jobs = [_job("ok", {"text": "x"}, experiment="a")]
         one = build_artifact(run_jobs(jobs, cache=cache))
         two = build_artifact(run_jobs(jobs, cache=cache))
-        strip = lambda d: [
-            {k: v for k, v in r.items() if k != "wall_time_s"} | {"cache_hit": None, "attempts": None}
-            for r in d["results"]
-        ]
+        def strip(d):
+            return [
+                {k: v for k, v in r.items() if k != "wall_time_s"} | {"cache_hit": None, "attempts": None}
+                for r in d["results"]
+            ]
+
         assert strip(one) == strip(two)
         assert one["results"][0]["output_sha256"] == two["results"][0]["output_sha256"]

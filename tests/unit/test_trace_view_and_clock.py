@@ -25,18 +25,18 @@ def paper_result():
 class TestRenderPipeline:
     def test_one_row_per_instruction(self, paper_result):
         text = render_pipeline(paper_result)
-        body = [l for l in text.splitlines() if "|" in l][1:]  # skip header
+        body = [ln for ln in text.splitlines() if "|" in ln][1:]  # skip header
         assert len(body) == len(paper_result.timings)
 
     def test_divide_shows_ten_execute_cells(self, paper_result):
         text = render_pipeline(paper_result)
-        div_line = next(l for l in text.splitlines() if l.startswith("div"))
+        div_line = next(ln for ln in text.splitlines() if ln.startswith("div"))
         # ten cycles of divide; the last doubles as the commit (marked *)
         assert div_line.count("E") + div_line.count("*") == 10
 
     def test_dependent_add_waits(self, paper_result):
         text = render_pipeline(paper_result)
-        add_line = next(l for l in text.splitlines() if l.startswith("add r0, r0, r3"))
+        add_line = next(ln for ln in text.splitlines() if ln.startswith("add r0, r0, r3"))
         assert add_line.count("f") == 10  # waits out the divide
 
     def test_commit_marked(self, paper_result):

@@ -1,0 +1,336 @@
+"""Unit tests for the differential-verification subsystem (repro.verify).
+
+The centerpiece is the mutation test: inject a forwarding bug into the
+US-I register-view walk and show that the fuzzer (a) detects the
+divergence against the architectural oracle, (b) shrinks the failing
+program to a minimal reproducer (at most 8 instructions), and (c) the
+recorded reproducer replays the failure.
+"""
+
+import json
+
+import pytest
+
+from repro.ultrascalar.ring import RingProcessor
+from repro.verify import (
+    DESIGNS,
+    InvariantChecker,
+    build_verify_artifact,
+    corpus_cases,
+    generate_case,
+    load_reproducer,
+    run_case,
+    run_differential,
+    run_oracle,
+    shard_report,
+    shrink_case,
+    validate_verify_artifact,
+    write_reproducer,
+)
+from repro.verify.cli import main as verify_main
+from repro.verify.fuzz import parse_shard_report
+from repro.workloads import memory_stream, paper_sequence, random_ilp
+
+#: fuzz parameters kept small so the mutation tests stay fast
+FAST = dict(sizes=(4,), designs=("us1",), check_invariants=False)
+
+
+class TestOracle:
+    def test_paper_sequence_commits(self):
+        w = paper_sequence()
+        oracle = run_oracle(w.program, w.registers_for(), dict(w.memory_image))
+        assert oracle.halted
+        assert oracle.dynamic_length == len(w.program)
+        # commits follow the static order for this straight-line program
+        assert [c[0] for c in oracle.commits] == list(range(len(w.program)))
+
+    def test_memory_image_round_trips(self):
+        w = memory_stream(6)
+        oracle = run_oracle(w.program, w.registers_for(), dict(w.memory_image))
+        # every preloaded address is still present in the final image
+        assert set(w.memory_image) <= set(oracle.memory)
+
+
+class TestRunDifferential:
+    @pytest.mark.parametrize("window", [None, 4, 8])
+    def test_known_workloads_agree(self, window):
+        w = random_ilp(30, 0.5, seed=7)
+        report = run_differential(
+            w.program,
+            initial_registers=w.registers_for(),
+            memory_image=dict(w.memory_image),
+            window=window,
+        )
+        assert report.ok, report.divergences
+        assert set(report.cycles) >= {"us1", "us2", "hybrid"}
+        assert report.invariant_checks > 0
+
+    def test_wrap_free_ilp_equivalence_enforced(self):
+        w = paper_sequence()
+        report = run_differential(
+            w.program, initial_registers=w.registers_for()
+        )
+        assert report.ok
+        engine_cycles = {report.cycles[d] for d in ("us1", "us2", "hybrid")}
+        assert len(engine_cycles) == 1
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            run_differential(paper_sequence().program, designs=("us1", "nope"))
+
+    def test_stats_collected_for_triage(self):
+        w = paper_sequence()
+        report = run_differential(
+            w.program, initial_registers=w.registers_for(), collect_stats=True
+        )
+        assert set(report.stats) == {"us1", "us2", "hybrid"}
+        assert all(report.stats[d] for d in report.stats)
+
+
+class TestInvariantChecker:
+    def test_clean_runs_accumulate_checks(self):
+        checker = InvariantChecker()
+        w = random_ilp(20, 0.3, seed=11)
+        report = run_differential(
+            w.program,
+            initial_registers=w.registers_for(),
+            memory_image=dict(w.memory_image),
+            window=4,
+        )
+        assert report.ok and report.invariant_checks > 0
+        assert checker.checks == 0  # fresh checker untouched
+
+    def test_commit_fifo_violation_detected(self, monkeypatch):
+        # corrupt commitment: report the stream in reversed order
+        original = RingProcessor.step
+
+        def scrambled(self):
+            outcome = original(self)
+            if len(self.committed) >= 2:
+                self.committed[-1], self.committed[-2] = (
+                    self.committed[-2],
+                    self.committed[-1],
+                )
+            return outcome
+
+        monkeypatch.setattr(RingProcessor, "step", scrambled)
+        w = paper_sequence()
+        report = run_differential(
+            w.program,
+            initial_registers=w.registers_for(),
+            designs=("us1",),
+        )
+        assert not report.ok
+        assert any(d.field in ("invariant", "commits") for d in report.divergences)
+
+
+def _forwarding_bug(monkeypatch):
+    """Install the classic bug: DONE station forwards a stale value.
+
+    A station that writes r1 asserts its ready bit but the overlaid
+    value stays the committed register file's (pre-write) value — a
+    broken result bus, invisible to anything but differential testing.
+    """
+    healthy = RingProcessor._register_views
+
+    def buggy(self, occupied):
+        views = healthy(self, occupied)
+        stale = list(self.committed_regs)
+        for view in views:
+            if view.ready[1]:
+                view.values[1] = stale[1]
+        return views
+
+    monkeypatch.setattr(RingProcessor, "_register_views", buggy)
+
+
+class TestMutationCatchAndShrink:
+    def test_forwarding_bug_caught_and_shrunk(self, monkeypatch, tmp_path):
+        _forwarding_bug(monkeypatch)
+        failure = None
+        for seed in range(50):
+            failure = run_case(generate_case(seed, 24), **FAST)
+            if failure is not None:
+                break
+        assert failure is not None, "fuzzer missed the injected forwarding bug"
+
+        shrunk = shrink_case(failure, **FAST)
+        assert len(shrunk.program) <= 8, shrunk.program.disassemble()
+        # the minimal program still fails on its own
+        assert run_case(shrunk, **FAST) is not None
+
+        path = write_reproducer(tmp_path, failure, shrunk)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-failure/1"
+        assert payload["shrunk_size"] == len(shrunk.program)
+
+        # the recorded reproducer replays the failure (shrunk program)
+        replayed = load_reproducer(path)
+        assert len(replayed.program) == len(shrunk.program)
+        assert run_case(replayed, **FAST) is not None
+
+    def test_reproducer_clean_after_fix(self, monkeypatch, tmp_path):
+        _forwarding_bug(monkeypatch)
+        failure = None
+        for seed in range(50):
+            failure = run_case(generate_case(seed, 24), **FAST)
+            if failure is not None:
+                break
+        assert failure is not None
+        path = write_reproducer(tmp_path, failure)
+        monkeypatch.undo()  # "fix" the bug
+        assert run_case(load_reproducer(path), **FAST) is None
+
+
+class TestShardAndReproducers:
+    def test_clean_shard(self):
+        outcome = parse_shard_report(shard_report(seed=0, budget=60))
+        assert outcome.ok
+        # the corpus workloads run first, so the budget can overshoot
+        assert outcome.instructions >= 60
+        assert outcome.cases >= len(corpus_cases(0))
+
+    def test_shard_is_deterministic(self):
+        assert shard_report(seed=3, budget=60) == shard_report(seed=3, budget=60)
+
+    def test_corpus_cases_clean_and_deterministic(self):
+        cases = corpus_cases(2)
+        assert [c.size for c in cases] == [c.size for c in corpus_cases(2)]
+        for case in cases:
+            assert run_case(case, **FAST) is None
+
+    def test_failing_shard_writes_reproducers(self, monkeypatch, tmp_path):
+        _forwarding_bug(monkeypatch)
+        outcome = parse_shard_report(
+            shard_report(
+                seed=1,
+                budget=400,
+                sizes=(4,),
+                designs=("us1",),
+                check_invariants=False,
+                failures_dir=str(tmp_path),
+            )
+        )
+        assert not outcome.ok
+        for failure in outcome.failures:
+            assert (tmp_path / f"seed{failure['seed']:08d}.json").exists()
+
+    def test_load_rejects_other_schemas(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_reproducer(path)
+
+
+class TestVerifyArtifact:
+    def _document(self, shards):
+        return build_verify_artifact(
+            shards, designs=DESIGNS, sizes=(4, 16), budget=100, minimize=True
+        )
+
+    def test_valid_document(self):
+        shard = {
+            "seed": 0,
+            "status": "ok",
+            "cases": 3,
+            "instructions": 100,
+            "failures": [],
+            "error": None,
+        }
+        document = self._document([shard])
+        assert validate_verify_artifact(document) == []
+        assert document["totals"]["failures"] == 0
+
+    def test_problems_reported(self):
+        assert validate_verify_artifact([]) == ["artifact is not a JSON object"]
+        document = self._document(
+            [{"seed": 0, "status": "weird", "failures": [{"nope": 1}]}]
+        )
+        problems = validate_verify_artifact(document)
+        assert any("status" in p for p in problems)
+        assert any("missing program/divergences" in p for p in problems)
+
+
+class TestVerifyCli:
+    def test_smoke_run_with_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "verify.json"
+        code = verify_main(
+            [
+                "--seeds",
+                "0:2",
+                "--budget",
+                "40",
+                "--json",
+                str(artifact),
+                "--failures-dir",
+                str(tmp_path / "failures"),
+            ]
+        )
+        assert code == 0
+        document = json.loads(artifact.read_text())
+        assert validate_verify_artifact(document) == []
+        assert document["totals"]["shards"] == 2
+        out = capsys.readouterr()
+        assert "verify: 2 shard(s)" in out.err
+
+    def test_divergence_sets_exit_code(self, monkeypatch, tmp_path, capsys):
+        _forwarding_bug(monkeypatch)
+        code = verify_main(
+            [
+                "--seeds",
+                "0:1",
+                "--budget",
+                "300",
+                "--sizes",
+                "4",
+                "--designs",
+                "us1",
+                "--no-invariants",
+                "--failures-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert any(tmp_path.glob("seed*.json"))
+
+    def test_repro_replay(self, monkeypatch, tmp_path, capsys):
+        _forwarding_bug(monkeypatch)
+        failure = None
+        for seed in range(50):
+            failure = run_case(generate_case(seed, 24), **FAST)
+            if failure is not None:
+                break
+        path = write_reproducer(tmp_path, failure)
+        code = verify_main(
+            ["--repro", str(path), "--sizes", "4", "--designs", "us1", "--no-invariants"]
+        )
+        assert code == 1
+        monkeypatch.undo()
+        code = verify_main(
+            ["--repro", str(path), "--sizes", "4", "--designs", "us1", "--no-invariants"]
+        )
+        assert code == 0
+
+    def test_bad_arguments(self, capsys):
+        assert verify_main(["--seeds", "5:5"]) == 2
+        assert verify_main(["--designs", "warp-drive"]) == 2
+        assert verify_main(["--sizes", "0"]) == 2
+
+
+class TestMainDispatch:
+    def test_verify_routed_from_package_main(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "verify",
+                "--seeds",
+                "0:1",
+                "--budget",
+                "30",
+                "--failures-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "shard seed=0" in capsys.readouterr().out

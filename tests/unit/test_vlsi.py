@@ -1,7 +1,5 @@
 """Unit tests for the VLSI layout models."""
 
-import math
-
 import pytest
 
 from repro.network.fattree import bandwidth_linear, bandwidth_power
