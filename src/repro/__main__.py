@@ -8,6 +8,8 @@ Usage::
     python -m repro all --jobs 4         # fan out across worker processes
     python -m repro verify               # differential fuzz of all designs
                                          # (see `python -m repro verify -h`)
+    python -m repro bench                # host-performance benchmarks
+                                         # (see `python -m repro bench -h`)
 
 Options::
 
@@ -26,7 +28,9 @@ the artifact (schema ``repro-runner/2``) and the trace event args.
 
 Results are cached on disk keyed by (experiment, arguments, package
 version), so a warm ``all`` replays instantly; a failing experiment is
-reported on stderr and the rest still run (exit code 1).
+reported on stderr and the rest still run (exit code 1).  Set
+``REPRO_LOG=DEBUG`` (or ``INFO``) to see retry and cache decisions
+that are normally silent (see :mod:`repro.util.log`).
 """
 
 from __future__ import annotations
@@ -35,12 +39,16 @@ import argparse
 import difflib
 import sys
 from collections.abc import Mapping
+from time import perf_counter
 
 from repro.runner.artifacts import write_artifact, write_run_trace
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.metrics import JobResult, format_summary
 from repro.runner.pool import run_jobs
 from repro.runner.registry import REGISTRY, build_jobs
+from repro.util.log import get_logger, setup_cli_logging
+
+log = get_logger("runner")
 
 
 class _ExperimentIndex(Mapping):
@@ -110,11 +118,17 @@ def _unknown_experiment_message(name: str) -> str:
 def main(argv: list[str] | None = None) -> int:
     """Dispatch one experiment (or ``all``); returns a process exit code."""
     args = sys.argv[1:] if argv is None else argv
+    setup_cli_logging()
     if args and args[0] == "verify":
         # the verify subcommand owns its own option surface
         from repro.verify.cli import main as verify_main
 
         return verify_main(args[1:])
+    if args and args[0] == "bench":
+        # so does the bench subcommand
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(args[1:])
     try:
         opts = _build_parser().parse_args(args)
     except SystemExit as exc:
@@ -141,14 +155,16 @@ def main(argv: list[str] | None = None) -> int:
         if result.ok:
             print(result.output)
         else:
-            print(
-                f"experiment {result.experiment!r} {result.status} "
-                f"after {result.attempts} attempt(s)",
-                file=sys.stderr,
+            log.error(
+                "experiment %r %s after %d attempt(s)",
+                result.experiment,
+                result.status,
+                result.attempts,
             )
             if result.error:
-                print(result.error.rstrip(), file=sys.stderr)
+                log.error("%s", result.error.rstrip())
 
+    start = perf_counter()
     results = run_jobs(
         jobs,
         workers=opts.jobs,
@@ -158,7 +174,10 @@ def main(argv: list[str] | None = None) -> int:
         on_result=emit,
         collect_stats=bool(opts.json_path or opts.trace_path),
     )
-    print(format_summary(results), file=sys.stderr)
+    print(
+        format_summary(results, wall_time_s=perf_counter() - start),
+        file=sys.stderr,
+    )
     if opts.json_path:
         write_artifact(
             opts.json_path,

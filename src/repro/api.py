@@ -21,7 +21,10 @@ The deep modules remain importable — this facade adds a stability
 layer, it does not hide anything.  Re-exported here so one import
 serves most scripts: :class:`ProcessorConfig`,
 :class:`ProcessorResult`, :class:`TimingRecord`, the memory systems,
-and the tracers.
+the tracers, and the :func:`collecting` session helper (every engine
+built inside a ``with collecting() as tracer:`` block reports to
+*tracer* — how the runner and the bench harness gather counters from
+code that never passes ``tracer=`` explicitly).
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import difflib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.telemetry import CountingTracer, EventTracer, NullTracer, Tracer
+from repro.telemetry import CountingTracer, EventTracer, NullTracer, Tracer, collecting
 from repro.ultrascalar import (
     CachedMemory,
     IdealMemory,
@@ -57,6 +60,7 @@ __all__ = [
     "TimingRecord",
     "Tracer",
     "build_processor",
+    "collecting",
     "run",
 ]
 

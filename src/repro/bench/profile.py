@@ -1,0 +1,83 @@
+"""Profiling hooks: cProfile capture for any registered benchmark.
+
+``python -m repro bench --profile`` wraps each selected benchmark's
+thunk in a :class:`cProfile.Profile` (one untimed pass — profiling
+overhead would poison the timings, so the profile pass is separate from
+the measurement repeats) and writes two files per benchmark under the
+profile directory:
+
+* ``<name>.pstats`` — the binary profile, loadable with
+  :mod:`pstats` or ``snakeviz``;
+* ``<name>.collapsed.txt`` — collapsed-stack lines in the
+  ``caller;callee <microseconds>`` format flamegraph tools accept
+  (e.g. ``flamegraph.pl`` or speedscope).  cProfile records
+  caller→callee edges rather than full stacks, so each line is a
+  two-frame stack: the visualisation shows where time concentrates and
+  who called it, not arbitrarily deep chains.
+
+Benchmark names contain dots; file names keep them (they are safe on
+every supported platform).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from pathlib import Path
+
+from repro.bench.registry import Benchmark
+
+
+def _frame_label(func: tuple[str, int, str]) -> str:
+    """``file:line(name)`` condensed to ``module:name`` for stack lines."""
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name
+    stem = Path(filename).stem
+    return f"{stem}:{name}"
+
+
+def collapsed_stacks(stats: pstats.Stats) -> list[str]:
+    """Collapsed-stack lines from a profile, sorted for determinism.
+
+    One line per observed caller→callee edge, weighted by the callee's
+    total time attributed to that edge (microseconds, minimum 1 so
+    every edge survives integer rounding); root functions (no caller
+    recorded) emit a single-frame line weighted by their own total
+    time.
+    """
+    lines: list[str] = []
+    for func, (_cc, _nc, tt, _ct, callers) in stats.stats.items():
+        label = _frame_label(func)
+        if not callers:
+            lines.append(f"{label} {max(1, int(tt * 1e6))}")
+            continue
+        for caller, (_ccc, _cnc, _ctt, cct) in callers.items():
+            lines.append(
+                f"{_frame_label(caller)};{label} {max(1, int(cct * 1e6))}"
+            )
+    return sorted(lines)
+
+
+def profile_benchmark(
+    benchmark: Benchmark, out_dir: str | Path
+) -> tuple[Path, Path]:
+    """Profile one benchmark; returns (pstats path, collapsed path)."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    thunk = benchmark.make()
+    thunk()  # warm caches so the profile shows steady-state costs
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        thunk()
+    finally:
+        profiler.disable()
+    pstats_path = out / f"{benchmark.name}.pstats"
+    profiler.dump_stats(pstats_path)
+    stats = pstats.Stats(profiler)
+    collapsed_path = out / f"{benchmark.name}.collapsed.txt"
+    collapsed_path.write_text(
+        "\n".join(collapsed_stacks(stats)) + "\n", encoding="utf-8"
+    )
+    return pstats_path, collapsed_path

@@ -1,0 +1,330 @@
+"""The registry of hot-path benchmarks.
+
+Each :class:`Benchmark` names one hot path and knows how to build a
+timed thunk for it.  Setup (program generation, engine-independent
+state) happens in :meth:`Benchmark.make`, *outside* the timed region;
+the returned thunk performs exactly the work the benchmark is named
+for.  Benchmarks are deterministic in structure: fixed seeds, fixed
+sizes, so two runs of the same tree produce artifacts that differ only
+in their timings.
+
+Groups (mirroring the subsystems the ROADMAP cares about):
+
+* ``engine`` — full-program throughput of the three paper designs
+  (us1 / us2 / hybrid), driven through :mod:`repro.api` exactly the
+  way users drive them, across window sizes;
+* ``vector`` — the NumPy-vectorized large-*n* ring engine;
+* ``cspp`` — the behavioural cyclic-segmented-scan kernel the
+  datapaths are built from;
+* ``network`` — the Ultrascalar II argument-routing reference;
+* ``isa`` — assemble → encode → decode round-trip throughput;
+* ``runner`` — the result cache's store/hit path;
+* ``verify`` — fuzz program generation (the verify CLI's hot loop).
+
+The ``--quick`` subset keeps one representative per group (always
+covering all three processor designs) sized for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: canonical registry: name -> Benchmark, in registration order
+REGISTRY: dict[str, "Benchmark"] = {}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered hot-path benchmark."""
+
+    name: str
+    group: str
+    title: str
+    #: builds the timed thunk; runs once per benchmark, untimed
+    make: Callable[[], Callable[[], Any]]
+    #: part of the ``--quick`` CI subset
+    quick: bool = False
+    #: structural parameters (design, window, size, ...) for the artifact
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    """Add *benchmark* to the registry; duplicate names are a bug."""
+    if benchmark.name in REGISTRY:
+        raise ValueError(f"duplicate benchmark name {benchmark.name!r}")
+    REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def select(
+    *, quick: bool = False, substrings: tuple[str, ...] = ()
+) -> list[Benchmark]:
+    """The benchmarks a run should execute, in registration order.
+
+    *quick* restricts to the CI subset; *substrings* (when non-empty)
+    keeps benchmarks whose name contains any of them.
+    """
+    chosen = [b for b in REGISTRY.values() if b.quick or not quick]
+    if substrings:
+        chosen = [b for b in chosen if any(s in b.name for s in substrings)]
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# engine throughput (us1 / us2 / hybrid via repro.api)
+
+
+def _engine_thunk(design: str, window: int, count: int) -> Callable[[], Any]:
+    from repro.api import ProcessorConfig, build_processor
+    from repro.workloads.generators import random_ilp
+
+    workload = random_ilp(count, 0.5, seed=1999)
+    processor = build_processor(design, ProcessorConfig(window_size=window))
+    program = workload.program
+    registers = workload.registers_for()
+
+    def thunk() -> None:
+        processor.run(program, initial_registers=list(registers))
+
+    return thunk
+
+
+def _register_engines() -> None:
+    for design in ("us1", "us2", "hybrid"):
+        for window, count, quick in ((8, 48, True), (32, 192, False)):
+            register(
+                Benchmark(
+                    name=f"engine.{design}.w{window}",
+                    group="engine",
+                    title=f"{design} end-to-end run, window {window}",
+                    make=(
+                        lambda design=design, window=window, count=count:
+                        _engine_thunk(design, window, count)
+                    ),
+                    quick=quick,
+                    metadata={
+                        "design": design,
+                        "window_size": window,
+                        "instructions": count,
+                        "seed": 1999,
+                    },
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# vector engine
+
+
+def _vector_thunk(window: int, count: int) -> Callable[[], Any]:
+    from repro.ultrascalar.vector_engine import VectorRingEngine
+    from repro.workloads.generators import random_ilp
+
+    workload = random_ilp(count, 0.5, seed=1999)
+    program = workload.program
+    registers = workload.registers_for()
+
+    def thunk() -> None:
+        VectorRingEngine(
+            program, window_size=window, fetch_width=4,
+            initial_registers=list(registers),
+        ).run()
+
+    return thunk
+
+
+def _register_vector() -> None:
+    for window, count, quick in ((64, 256, True), (512, 2048, False)):
+        register(
+            Benchmark(
+                name=f"vector.ring.n{window}",
+                group="vector",
+                title=f"vector ring engine, {window} stations",
+                make=lambda window=window, count=count: _vector_thunk(window, count),
+                quick=quick,
+                metadata={
+                    "design": "vector",
+                    "window_size": window,
+                    "instructions": count,
+                    "seed": 1999,
+                },
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# CSPP scan kernel
+
+
+def _cspp_thunk(n: int) -> Callable[[], Any]:
+    from repro.circuits.cspp import cyclic_segmented_copy
+
+    xs = list(range(n))
+    segments = [i % 8 == 0 for i in range(n)]
+
+    def thunk() -> None:
+        cyclic_segmented_copy(xs, segments)
+
+    return thunk
+
+
+def _register_cspp() -> None:
+    for n, quick in ((512, True), (4096, False)):
+        register(
+            Benchmark(
+                name=f"cspp.scan.n{n}",
+                group="cspp",
+                title=f"cyclic segmented scan over {n} positions",
+                make=lambda n=n: _cspp_thunk(n),
+                quick=quick,
+                metadata={"positions": n, "segment_stride": 8},
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# mesh-of-trees argument routing (the US-II network reference)
+
+
+def _route_thunk(n: int, num_registers: int) -> Callable[[], Any]:
+    from repro.circuits.grid import RegisterBinding, route_arguments
+
+    initial = [(r * 3 + 1, True) for r in range(num_registers)]
+    writes = [
+        RegisterBinding(reg=i % num_registers, value=i, ready=i % 3 != 0)
+        if i % 4 != 0
+        else None
+        for i in range(n)
+    ]
+    reads = [
+        [(i + 1) % num_registers, (i * 7 + 3) % num_registers] for i in range(n)
+    ]
+
+    def thunk() -> None:
+        route_arguments(num_registers, initial, writes, reads)
+
+    return thunk
+
+
+def _register_network() -> None:
+    for n, quick in ((128, True), (1024, False)):
+        register(
+            Benchmark(
+                name=f"network.route.n{n}",
+                group="network",
+                title=f"US-II argument routing, {n} stations",
+                make=lambda n=n: _route_thunk(n, 32),
+                quick=quick,
+                metadata={"stations": n, "num_registers": 32},
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# assembler / encoding round-trip
+
+
+def _isa_thunk(size: int) -> Callable[[], Any]:
+    from repro.isa.assembler import assemble
+    from repro.isa.encoding import decode_instruction, encode_instruction
+    from repro.workloads.kernels import matmul
+
+    source = matmul(size).program.disassemble()
+
+    def thunk() -> None:
+        program = assemble(source)
+        for inst in program:
+            decode_instruction(encode_instruction(inst))
+
+    return thunk
+
+
+def _register_isa() -> None:
+    register(
+        Benchmark(
+            name="isa.roundtrip.matmul",
+            group="isa",
+            title="assemble + encode/decode the matmul kernel",
+            make=lambda: _isa_thunk(4),
+            quick=True,
+            metadata={"kernel": "matmul", "size": 4},
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# runner result-cache store/hit path
+
+
+def _cache_thunk(entries: int) -> Callable[[], Any]:
+    import shutil
+    import tempfile
+
+    from repro.runner.cache import ResultCache
+
+    def thunk() -> None:
+        root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            cache = ResultCache(root)
+            for i in range(entries):
+                kwargs = {"size": i, "mode": "bench"}
+                cache.put("bench", kwargs, f"report {i}\n" * 8, 0.01)
+            for i in range(entries):
+                kwargs = {"size": i, "mode": "bench"}
+                entry = cache.get("bench", kwargs)
+                assert entry is not None
+            assert cache.get("bench", {"size": -1}) is None  # miss path
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return thunk
+
+
+def _register_runner() -> None:
+    register(
+        Benchmark(
+            name="runner.cache.roundtrip",
+            group="runner",
+            title="result cache store + hit + miss path",
+            make=lambda: _cache_thunk(32),
+            quick=True,
+            metadata={"entries": 32},
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# verify-fuzz program generation
+
+
+def _fuzz_thunk(cases: int, size: int) -> Callable[[], Any]:
+    from repro.verify.fuzz import generate_case
+
+    def thunk() -> None:
+        for seed in range(cases):
+            generate_case(seed, size)
+
+    return thunk
+
+
+def _register_verify() -> None:
+    register(
+        Benchmark(
+            name="verify.fuzz.generate",
+            group="verify",
+            title="fuzz program generation (16 cases of 48)",
+            make=lambda: _fuzz_thunk(16, 48),
+            quick=True,
+            metadata={"cases": 16, "size": 48},
+        )
+    )
+
+
+_register_engines()
+_register_vector()
+_register_cspp()
+_register_network()
+_register_isa()
+_register_runner()
+_register_verify()

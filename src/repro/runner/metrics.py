@@ -68,15 +68,26 @@ def summarize(results: list[JobResult]) -> dict[str, Any]:
     }
 
 
-def format_summary(results: list[JobResult]) -> str:
-    """One human-readable line: job counts, hits, failures, time."""
+def format_summary(
+    results: list[JobResult], *, wall_time_s: float | None = None
+) -> str:
+    """One human-readable line: job counts, hits/misses, failures, time.
+
+    ``wall_time_s`` is the caller's end-to-end clock for the whole run;
+    with parallel workers it is smaller than the summed per-job time,
+    and the gap between the two is where ``python -m repro all`` spent
+    its time (pool fan-out vs. cache replay).
+    """
     totals = summarize(results)
+    misses = totals["jobs"] - totals["cache_hits"]
     parts = [
         f"{totals['jobs']} job(s) across {totals['experiments']} experiment(s)",
-        f"{totals['cache_hits']} cache hit(s)",
+        f"{totals['cache_hits']} cache hit(s), {misses} miss(es)",
         f"{totals['failed']} failure(s)",
         f"{totals['wall_time_s']:.2f}s job time",
     ]
     if totals["retried"]:
         parts.insert(2, f"{totals['retried']} retried")
+    if wall_time_s is not None:
+        parts.append(f"{wall_time_s:.2f}s wall-clock")
     return "; ".join(parts)

@@ -21,7 +21,10 @@ from typing import Callable
 from repro.runner.cache import ResultCache
 from repro.runner.metrics import STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, JobResult
 from repro.runner.registry import JobSpec
+from repro.util.log import get_logger
 from repro.util.rng import derive_seed, seed_bare_rngs
+
+log = get_logger("runner.pool")
 
 
 def _execute(
@@ -113,6 +116,10 @@ def _run_inline(job: JobSpec, attempts: int, collect: bool = False) -> JobResult
         )
         if status == STATUS_OK or attempt == attempts:
             return _miss_result(job, status, payload, elapsed, attempt, stats)
+        log.debug(
+            "job %s[%d/%d] %s on attempt %d/%d; retrying inline",
+            job.experiment, job.index + 1, job.count, status, attempt, attempts,
+        )
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -205,9 +212,19 @@ def run_jobs(
                         f"(attempt {attempts[idx]}/{attempts_allowed})"
                     )
                     elapsed = float(timeout or 0.0)
+                    log.warning(
+                        "job %s[%d/%d] timed out after %ss (attempt %d/%d)",
+                        job.experiment, job.index + 1, job.count,
+                        timeout, attempts[idx], attempts_allowed,
+                    )
                 except BrokenProcessPool:
                     # a worker died hard (e.g. OOM-kill); the whole pool
                     # is poisoned, so rebuild it for the remaining jobs
+                    log.warning(
+                        "worker pool broke during %s[%d/%d]; rebuilding "
+                        "for the remaining jobs",
+                        job.experiment, job.index + 1, job.count,
+                    )
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
                     for other in misses:
@@ -227,6 +244,11 @@ def run_jobs(
                         )
                     )
                     break
+                log.debug(
+                    "job %s[%d/%d] %s; resubmitting (attempt %d/%d)",
+                    job.experiment, job.index + 1, job.count,
+                    status, attempts[idx] + 1, attempts_allowed,
+                )
                 submit(idx)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)

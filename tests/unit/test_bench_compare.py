@@ -1,0 +1,185 @@
+"""Baseline comparator and the --fail-on-regress CLI gate."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.compare import (
+    ADDED,
+    IMPROVED,
+    INCOMPARABLE,
+    REGRESSED,
+    REMOVED,
+    UNCHANGED,
+    compare_artifacts,
+    format_compare_table,
+    hosts_differ,
+    regressions,
+)
+from repro.bench.registry import Benchmark
+
+
+def _artifact(entries, host=None):
+    """A minimal artifact document with the given (name, best_s) pairs."""
+    return {
+        "schema": "repro-bench/1",
+        "version": "0.1.0",
+        "mode": "quick",
+        "host": host or {"python": "3.12", "platform": "test", "cpu_count": 1},
+        "protocol": {"clock": "perf_counter", "gc_disabled": True,
+                     "warmup": 1, "repeats": 3},
+        "totals": {"benchmarks": len(entries), "wall_time_s": 0.0},
+        "results": [
+            {
+                "name": name,
+                "group": name.split(".")[0],
+                "title": name,
+                "units": "s",
+                "metadata": {},
+                "repeats_s": [best],
+                "best_s": best,
+                "median_s": best,
+                "mean_s": best,
+                "stats": {},
+                "rates": {},
+            }
+            for name, best in entries
+        ],
+    }
+
+
+class TestComparator:
+    def test_unchanged_improved_regressed(self):
+        base = _artifact([("a", 1.0), ("b", 1.0), ("c", 1.0)])
+        new = _artifact([("a", 1.02), ("b", 0.5), ("c", 2.0)])
+        by_name = {
+            d.name: d for d in compare_artifacts(base, new, threshold_pct=5.0)
+        }
+        assert by_name["a"].status == UNCHANGED
+        assert by_name["b"].status == IMPROVED
+        assert by_name["c"].status == REGRESSED
+        assert by_name["c"].pct == pytest.approx(100.0)
+
+    def test_missing_baseline_entry_is_added(self):
+        base = _artifact([("a", 1.0)])
+        new = _artifact([("a", 1.0), ("fresh", 0.1)])
+        by_name = {d.name: d for d in compare_artifacts(base, new)}
+        assert by_name["fresh"].status == ADDED
+        assert by_name["fresh"].pct is None
+        assert regressions(list(by_name.values())) == []
+
+    def test_renamed_benchmark_is_removed_plus_added(self):
+        base = _artifact([("old.name", 1.0)])
+        new = _artifact([("new.name", 1.0)])
+        statuses = {d.name: d.status for d in compare_artifacts(base, new)}
+        assert statuses == {"new.name": ADDED, "old.name": REMOVED}
+
+    def test_zero_time_guard(self):
+        base = _artifact([("a", 0.0), ("b", 1.0)])
+        new = _artifact([("a", 1.0), ("b", 0.0)])
+        by_name = {d.name: d for d in compare_artifacts(base, new)}
+        assert by_name["a"].status == INCOMPARABLE
+        assert by_name["b"].status == INCOMPARABLE
+        assert by_name["a"].pct is None
+
+    def test_threshold_boundary_is_not_a_regression(self):
+        # exactly at the threshold stays "unchanged"; strictly above trips
+        base = _artifact([("a", 1.0), ("b", 1.0)])
+        new = _artifact([("a", 1.05), ("b", 1.0500001)])
+        by_name = {
+            d.name: d for d in compare_artifacts(base, new, threshold_pct=5.0)
+        }
+        assert by_name["a"].status == UNCHANGED
+        assert by_name["b"].status == REGRESSED
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            compare_artifacts(_artifact([]), _artifact([]), threshold_pct=-1)
+
+    def test_format_table(self):
+        base = _artifact([("a", 1.0), ("gone", 1.0)])
+        new = _artifact([("a", 2.0)])
+        deltas = compare_artifacts(base, new, threshold_pct=5.0)
+        table = format_compare_table(deltas, threshold_pct=5.0)
+        assert "a" in table and "gone" in table
+        assert "+100.0%" in table
+        assert "1 regressed" in table and "1 removed" in table
+
+    def test_hosts_differ(self):
+        same = _artifact([])
+        other = _artifact([], host={"python": "3.11", "platform": "test",
+                                    "cpu_count": 1})
+        assert not hosts_differ(same, same)
+        assert hosts_differ(same, other)
+
+
+def _toy_registry(extra_sleep_s=0.0):
+    """A single fast fake benchmark, optionally artificially slowed."""
+    import time
+
+    def make():
+        def thunk():
+            total = sum(range(200))
+            if extra_sleep_s:
+                time.sleep(extra_sleep_s)
+            return total
+
+        return thunk
+
+    bench = Benchmark(
+        name="toy.spin", group="toy", title="toy spin", make=make, quick=True
+    )
+    return {bench.name: bench}
+
+
+class TestCliGate:
+    def test_compare_unchanged_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.registry.REGISTRY", _toy_registry())
+        baseline = tmp_path / "BENCH_base.json"
+        assert bench_main(["--quick", "--repeats", "2",
+                           "--json", str(baseline)]) == 0
+        # informational compare never gates, whatever the noise says
+        assert bench_main(["--quick", "--repeats", "2",
+                           "--compare", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "toy.spin" in out and "status" in out
+
+    def test_fail_on_regress_trips_on_slowdown(self, tmp_path, monkeypatch, capsys):
+        # baseline recorded from the fast registry...
+        monkeypatch.setattr("repro.bench.registry.REGISTRY", _toy_registry())
+        baseline = tmp_path / "BENCH_base.json"
+        assert bench_main(["--quick", "--repeats", "2",
+                           "--json", str(baseline)]) == 0
+        # ...then the same benchmark artificially slowed by a sleep
+        monkeypatch.setattr(
+            "repro.bench.registry.REGISTRY", _toy_registry(extra_sleep_s=0.02)
+        )
+        code = bench_main(["--quick", "--repeats", "2",
+                           "--compare", str(baseline),
+                           "--fail-on-regress", "50"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "regression: toy.spin" in captured.err
+        # without the gate the same slowdown is informational
+        assert bench_main(["--quick", "--repeats", "2",
+                           "--compare", str(baseline)]) == 0
+
+    def test_usage_errors(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.registry.REGISTRY", _toy_registry())
+        assert bench_main(["--fail-on-regress", "10"]) == 2
+        assert bench_main(["--fail-on-regress", "-5", "--compare", "x"]) == 2
+        assert bench_main(["--repeats", "0"]) == 2
+        assert bench_main(["--filter", "no-such-benchmark"]) == 2
+        # a missing or malformed baseline fails fast, before any timing
+        missing = tmp_path / "missing.json"
+        assert bench_main(["--compare", str(missing)]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}), encoding="utf-8")
+        assert bench_main(["--compare", str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_list_mode(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.registry.REGISTRY", _toy_registry())
+        assert bench_main(["--list"]) == 0
+        assert "toy.spin" in capsys.readouterr().out

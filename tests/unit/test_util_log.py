@@ -1,0 +1,56 @@
+"""The repro logging hierarchy and its REPRO_LOG configuration."""
+
+import logging
+import sys
+
+from repro.util import log as replog
+
+
+class TestGetLogger:
+    def test_names_form_the_repro_hierarchy(self):
+        assert replog.get_logger().name == "repro"
+        assert replog.get_logger("repro").name == "repro"
+        assert replog.get_logger("runner.pool").name == "repro.runner.pool"
+
+    def test_root_has_null_handler_by_default(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestLevelFromEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(replog.ENV_VAR, raising=False)
+        assert replog.level_from_env() == logging.WARNING
+
+    def test_parses_names_case_insensitively(self, monkeypatch):
+        monkeypatch.setenv(replog.ENV_VAR, "debug")
+        assert replog.level_from_env() == logging.DEBUG
+        monkeypatch.setenv(replog.ENV_VAR, "ERROR")
+        assert replog.level_from_env() == logging.ERROR
+
+    def test_garbage_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(replog.ENV_VAR, "LOUD")
+        assert replog.level_from_env() == logging.WARNING
+
+
+class TestSetupCliLogging:
+    def _stderr_handlers(self):
+        root = logging.getLogger("repro")
+        return [h for h in root.handlers if isinstance(h, replog._StderrHandler)]
+
+    def test_idempotent(self):
+        replog.setup_cli_logging()
+        replog.setup_cli_logging()
+        assert len(self._stderr_handlers()) == 1
+
+    def test_messages_reach_current_stderr_verbatim(self, capsys):
+        replog.setup_cli_logging()
+        replog.get_logger("runner").error("experiment 'x' failed after 2 attempt(s)")
+        err = capsys.readouterr().err
+        # message-only formatting: looks exactly like the print() it replaced
+        assert err == "experiment 'x' failed after 2 attempt(s)\n"
+
+    def test_handler_follows_stderr_swaps(self):
+        replog.setup_cli_logging()
+        [handler] = self._stderr_handlers()
+        assert handler.stream is sys.stderr
